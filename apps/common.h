@@ -1,0 +1,85 @@
+// Shared command-line plumbing for the per-algorithm driver apps, mirroring
+// the upstream PASGAL repository's layout (one executable per algorithm,
+// fed by a graph file in .adj or .bin format, or a generator spec).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graphs/generators.h"
+#include "graphs/graph_io.h"
+#include "pasgal/stats.h"
+
+namespace pasgal::apps {
+
+// Graph sources:
+//   path ending in .adj / .bin        -> load from file
+//   "rmat:<log2n>:<m>[:seed]"         -> RMAT generator
+//   "grid:<rows>:<cols>"              -> undirected rectangle grid
+//   "road:<rows>:<cols>[:two_way_pct]"-> directed road grid
+//   "knn:<n>:<k>[:seed]"              -> k-NN graph
+//   "chain:<n>[:directed]"            -> path graph
+inline Graph load_graph(const std::string& spec) {
+  auto ends_with = [&](const char* suffix) {
+    std::size_t len = std::strlen(suffix);
+    return spec.size() >= len && spec.compare(spec.size() - len, len, suffix) == 0;
+  };
+  if (ends_with(".adj")) return read_adj(spec);
+  if (ends_with(".bin")) return read_bin(spec);
+
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) colon = spec.size();
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  auto arg = [&](std::size_t i, long fallback) {
+    return parts.size() > i ? std::strtol(parts[i].c_str(), nullptr, 10)
+                            : fallback;
+  };
+  const std::string& kind = parts[0];
+  if (kind == "rmat") {
+    return gen::rmat(static_cast<int>(arg(1, 16)),
+                     static_cast<std::size_t>(arg(2, 1 << 20)),
+                     static_cast<std::uint64_t>(arg(3, 1)));
+  }
+  if (kind == "grid") {
+    return gen::rectangle_grid(static_cast<std::size_t>(arg(1, 100)),
+                               static_cast<std::size_t>(arg(2, 100)));
+  }
+  if (kind == "road") {
+    return gen::road_grid(static_cast<std::size_t>(arg(1, 100)),
+                          static_cast<std::size_t>(arg(2, 100)),
+                          static_cast<double>(arg(3, 85)) / 100.0);
+  }
+  if (kind == "knn") {
+    return gen::knn_graph(static_cast<std::size_t>(arg(1, 100000)),
+                          static_cast<int>(arg(2, 5)),
+                          static_cast<std::uint64_t>(arg(3, 1)));
+  }
+  if (kind == "chain") {
+    return gen::chain(static_cast<std::size_t>(arg(1, 100000)), arg(2, 0) != 0);
+  }
+  std::fprintf(stderr,
+               "unknown graph spec '%s'\n"
+               "expected a .adj/.bin path or "
+               "rmat:<log2n>:<m> | grid:<r>:<c> | road:<r>:<c>[:pct] | "
+               "knn:<n>:<k> | chain:<n>[:1]\n",
+               spec.c_str());
+  std::exit(2);
+}
+
+inline void print_stats(const char* algo, double seconds, const RunStats& stats) {
+  std::printf("%s: %.4f s | rounds %llu | edges scanned %llu | "
+              "vertices visited %llu | max frontier %llu\n",
+              algo, seconds, (unsigned long long)stats.rounds(),
+              (unsigned long long)stats.edges_scanned(),
+              (unsigned long long)stats.vertices_visited(),
+              (unsigned long long)stats.max_frontier());
+}
+
+}  // namespace pasgal::apps

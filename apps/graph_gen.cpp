@@ -1,0 +1,23 @@
+// Generator utility: write a generated graph to .adj or .bin.
+//
+//   graph_gen <spec> <output.{adj,bin}>
+#include "common.h"
+
+using namespace pasgal;
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin}>\n", argv[0]);
+    return 2;
+  }
+  Graph g = apps::load_graph(argv[1]);
+  std::string out = argv[2];
+  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
+    write_bin(g, out);
+  } else {
+    write_adj(g, out);
+  }
+  std::printf("wrote %s: n=%zu m=%zu\n", out.c_str(), g.num_vertices(),
+              g.num_edges());
+  return 0;
+}

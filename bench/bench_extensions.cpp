@@ -1,0 +1,98 @@
+// The paper's §Conclusion extension targets, built and measured: k-core and
+// topological sort (peeling algorithms with VGC) and point-to-point shortest
+// paths. Same presentation as the main tables: time, rounds, and the
+// VGC-vs-no-VGC round collapse that motivates extending the technique.
+#include <cstdio>
+
+#include "algorithms/kcore/kcore.h"
+#include "algorithms/scc/condensation.h"
+#include "algorithms/sssp/ppsp.h"
+#include "algorithms/toposort/toposort.h"
+#include "suite.h"
+
+using namespace pasgal;
+using namespace pasgal::bench;
+
+int main() {
+  // --- k-core ---------------------------------------------------------------
+  std::printf("=== k-core decomposition (peeling + VGC) ===\n");
+  std::printf("%-10s %12s %12s %10s %12s %10s\n", "graph", "seq(s)",
+              "par tau=1(s)", "rounds", "par vgc(s)", "rounds");
+  for (const auto& spec : graph_suite()) {
+    if (spec.name != "SOC-LJ" && spec.name != "ROAD-NA" && spec.name != "BBL") {
+      continue;
+    }
+    Graph g0 = spec.build();
+    Graph g = spec.directed ? g0.symmetrize() : g0;
+    RunStats seq_stats, flat_stats, vgc_stats;
+    std::vector<std::uint32_t> ref, a, b;
+    double t_seq = time_seconds([&] { ref = seq_kcore(g, &seq_stats); });
+    KcoreParams flat;
+    flat.vgc.tau = 1;
+    double t_flat = time_seconds([&] { a = pasgal_kcore(g, flat, &flat_stats); });
+    double t_vgc = time_seconds([&] { b = pasgal_kcore(g, {}, &vgc_stats); });
+    if (a != ref || b != ref) {
+      std::fprintf(stderr, "KCORE MISMATCH on %s\n", spec.name.c_str());
+      return 1;
+    }
+    std::printf("%-10s %12.4f %12.4f %10llu %12.4f %10llu\n", spec.name.c_str(),
+                t_seq, t_flat, (unsigned long long)flat_stats.rounds(), t_vgc,
+                (unsigned long long)vgc_stats.rounds());
+    std::fflush(stdout);
+  }
+
+  // --- topological sort -------------------------------------------------------
+  std::printf("\n=== topological sort of the SCC condensation ===\n");
+  std::printf("%-10s %10s %10s %14s %12s %12s\n", "graph", "dag n", "dag m",
+              "seq rounds*", "tau=1 rounds", "vgc rounds");
+  for (const auto& spec : directed_suite()) {
+    if (spec.name != "ROAD-NA" && spec.name != "SREC") continue;
+    Graph g = spec.build();
+    Graph gt = g.transpose();
+    auto labels = normalize_scc_labels(pasgal_scc(g, gt));
+    Condensation cond = scc_condensation(g, labels);
+    RunStats flat_stats, vgc_stats;
+    ToposortParams flat;
+    flat.vgc.tau = 1;
+    auto a = pasgal_toposort(cond.dag, flat, &flat_stats);
+    auto b = pasgal_toposort(cond.dag, {}, &vgc_stats);
+    auto ref = seq_toposort(cond.dag);
+    if (a != ref || b != ref) {
+      std::fprintf(stderr, "TOPOSORT MISMATCH on %s\n", spec.name.c_str());
+      return 1;
+    }
+    std::printf("%-10s %10zu %10zu %14s %12llu %12llu\n", spec.name.c_str(),
+                cond.dag.num_vertices(), cond.dag.num_edges(), "1 (serial)",
+                (unsigned long long)flat_stats.rounds(),
+                (unsigned long long)vgc_stats.rounds());
+    std::fflush(stdout);
+  }
+
+  // --- point-to-point shortest paths -----------------------------------------
+  std::printf("\n=== point-to-point shortest paths (corner to corner) ===\n");
+  std::printf("%-10s %16s %16s %16s\n", "graph", "dijkstra settled",
+              "bidir settled", "same distance");
+  for (const auto& spec : graph_suite()) {
+    if (spec.name != "ROAD-NA" && spec.name != "REC") continue;
+    Graph base = spec.build();
+    auto g = gen::add_weights(base, 100, 21);
+    auto gt = g.transpose();
+    VertexId s = 0;
+    VertexId t = static_cast<VertexId>(g.num_vertices() - 1);
+    RunStats uni_stats, bi_stats;
+    Dist d1 = ppsp_dijkstra(g, s, t, &uni_stats);
+    Dist d2 = ppsp_bidirectional(g, gt, s, t, &bi_stats);
+    std::printf("%-10s %16llu %16llu %16s\n", spec.name.c_str(),
+                (unsigned long long)uni_stats.vertices_visited(),
+                (unsigned long long)bi_stats.vertices_visited(),
+                d1 == d2 ? "yes" : "NO (BUG)");
+    if (d1 != d2) return 1;
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shapes: in-task (VGC) peeling cuts k-core rounds ~3-9x on\n"
+      "these graphs (and >10x on pure chains — see test_kcore/test_toposort);\n"
+      "bidirectional search settles fewer vertices than full Dijkstra on\n"
+      "corner-to-corner road queries (thin strips like REC overlap anyway).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// SSSP benchmark (§2.2: the paper describes its stepping+VGC SSSP but the
+// brief announcement has no SSSP table; we table it in the same format):
+// rho-stepping and delta-stepping (both with VGC) vs parallel Bellman-Ford
+// vs sequential Dijkstra, on the weighted suite.
+#include <cstdio>
+
+#include "algorithms/sssp/sssp.h"
+#include "suite.h"
+
+using namespace pasgal;
+using namespace pasgal::bench;
+
+int main() {
+  Table times({"rho-step", "delta-step", "BellmanFord", "Dijkstra*"});
+  Table rounds({"rho-step", "delta-step", "BellmanFord"});
+  Table speedup96({"rho-step", "delta-step", "BellmanFord"});
+
+  for (const auto& spec : graph_suite()) {
+    if (spec.name == "CHAIN") continue;  // weighted chain: Bellman-Ford needs
+                                         // O(n) rounds and hours of bag churn
+    Graph base = spec.build();
+    auto g = gen::add_weights(base, 1000, 42);
+    VertexId source = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (base.out_degree(v) > base.out_degree(source)) source = v;
+    }
+
+    RunStats seq_stats, rho_stats, delta_stats, bf_stats;
+    std::vector<Dist> ref, d1, d2, d3;
+    double t_seq = time_seconds([&] { ref = dijkstra(g, source, &seq_stats); });
+    double t_rho = time_seconds([&] { d1 = rho_stepping(g, source, &rho_stats); });
+    SteppingParams delta_params;
+    delta_params.strategy = SteppingParams::Strategy::kDelta;
+    delta_params.delta = 256;
+    double t_delta = time_seconds(
+        [&] { d2 = stepping_sssp(g, source, delta_params, &delta_stats); });
+    double t_bf = time_seconds([&] { d3 = bellman_ford(g, source, &bf_stats); });
+    if (d1 != ref || d2 != ref || d3 != ref) {
+      std::fprintf(stderr, "SSSP MISMATCH on %s\n", spec.name.c_str());
+      return 1;
+    }
+
+    times.add_row(spec.cls, spec.name, {t_rho, t_delta, t_bf, t_seq});
+    rounds.add_row(spec.cls, spec.name,
+                   {double(rho_stats.rounds()), double(delta_stats.rounds()),
+                    double(bf_stats.rounds())});
+    Projection proj = calibrate(t_seq, seq_stats);
+    double ns = t_seq * 1e9;
+    speedup96.add_row(spec.cls, spec.name,
+                      {proj.speedup_at(96, rho_stats, ns),
+                       proj.speedup_at(96, delta_stats, ns),
+                       proj.speedup_at(96, bf_stats, ns)});
+    std::fflush(stdout);
+  }
+
+  times.print("SSSP running time (this machine, 1 core)", "seconds");
+  rounds.print("SSSP global synchronizations (rounds)", "count");
+  speedup96.print("SSSP projected speedup over Dijkstra at P=96", "speedup");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Table A4 (BFS running times: PASGAL vs GBBS vs GAPBS vs the
+// sequential queue baseline) plus the round-count and projected-speedup views
+// that substantiate the paper's shape claims on this 1-core substrate
+// (see DESIGN.md §2 for the substitution rationale).
+#include <cstdio>
+
+#include "suite.h"
+
+using namespace pasgal;
+using namespace pasgal::bench;
+
+namespace {
+
+VertexId max_degree_vertex(const Graph& g) {
+  VertexId best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  Table times({"PASGAL", "GBBS", "GAPBS", "Queue*"});
+  Table rounds({"PASGAL", "GBBS", "GAPBS"});
+  Table speedup96({"PASGAL", "GBBS", "GAPBS"});
+
+  for (const auto& spec : graph_suite()) {
+    Graph g = spec.build();
+    Graph gt = spec.directed ? g.transpose() : g;
+    const Graph& gt_ref = spec.directed ? gt : g;
+    VertexId source = max_degree_vertex(g);
+
+    RunStats seq_stats, pasgal_stats, gbbs_stats, gapbs_stats;
+    std::vector<std::uint32_t> ref;
+    double t_seq = time_seconds([&] { ref = seq_bfs(g, source, &seq_stats); });
+    std::vector<std::uint32_t> d1, d2, d3;
+    double t_pasgal =
+        time_seconds([&] { d1 = pasgal_bfs(g, gt_ref, source, {}, &pasgal_stats); });
+    double t_gbbs =
+        time_seconds([&] { d2 = gbbs_bfs(g, gt_ref, source, &gbbs_stats); });
+    double t_gapbs =
+        time_seconds([&] { d3 = gapbs_bfs(g, gt_ref, source, {}, &gapbs_stats); });
+    if (d1 != ref || d2 != ref || d3 != ref) {
+      std::fprintf(stderr, "BFS MISMATCH on %s\n", spec.name.c_str());
+      return 1;
+    }
+
+    times.add_row(spec.cls, spec.name, {t_pasgal, t_gbbs, t_gapbs, t_seq});
+    rounds.add_row(spec.cls, spec.name,
+                   {double(pasgal_stats.rounds()), double(gbbs_stats.rounds()),
+                    double(gapbs_stats.rounds())});
+    Projection proj = calibrate(t_seq, seq_stats);
+    double seq_ns = t_seq * 1e9;
+    speedup96.add_row(spec.cls, spec.name,
+                      {proj.speedup_at(96, pasgal_stats, seq_ns),
+                       proj.speedup_at(96, gbbs_stats, seq_ns),
+                       proj.speedup_at(96, gapbs_stats, seq_ns)});
+    std::fflush(stdout);
+  }
+
+  times.print("Table A4: BFS running time (this machine, 1 core)", "seconds");
+  rounds.print("BFS global synchronizations (rounds)", "count");
+  speedup96.print(
+      "BFS projected speedup over sequential at P=96 (cost model, DESIGN.md)",
+      "speedup; <1 means slower than sequential");
+  return 0;
+}

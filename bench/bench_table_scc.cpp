@@ -1,0 +1,56 @@
+// Reproduces Table A3 (SCC running times: PASGAL vs GBBS vs Multistep vs
+// sequential Tarjan) plus rounds and projected speedups. Directed graphs
+// only, as in the paper ("SCC does not apply to undirected graphs").
+#include <cstdio>
+
+#include "algorithms/scc/scc.h"
+#include "suite.h"
+
+using namespace pasgal;
+using namespace pasgal::bench;
+
+int main() {
+  Table times({"PASGAL", "GBBS", "Multistep", "Tarjan*"});
+  Table rounds({"PASGAL", "GBBS", "Multistep"});
+  Table speedup96({"PASGAL", "GBBS", "Multistep"});
+
+  for (const auto& spec : directed_suite()) {
+    Graph g = spec.build();
+    Graph gt = g.transpose();
+
+    RunStats seq_stats, pasgal_stats, gbbs_stats, multi_stats;
+    std::vector<SccLabel> ref, l1, l2, l3;
+    double t_seq = time_seconds([&] { ref = tarjan_scc(g, &seq_stats); });
+    double t_pasgal =
+        time_seconds([&] { l1 = pasgal_scc(g, gt, {}, &pasgal_stats); });
+    double t_gbbs = time_seconds([&] { l2 = gbbs_scc(g, gt, {}, &gbbs_stats); });
+    double t_multi =
+        time_seconds([&] { l3 = multistep_scc(g, gt, {}, &multi_stats); });
+
+    auto want = normalize_scc_labels(ref);
+    if (normalize_scc_labels(l1) != want || normalize_scc_labels(l2) != want ||
+        normalize_scc_labels(l3) != want) {
+      std::fprintf(stderr, "SCC MISMATCH on %s\n", spec.name.c_str());
+      return 1;
+    }
+
+    times.add_row(spec.cls, spec.name, {t_pasgal, t_gbbs, t_multi, t_seq});
+    rounds.add_row(spec.cls, spec.name,
+                   {double(pasgal_stats.rounds()), double(gbbs_stats.rounds()),
+                    double(multi_stats.rounds())});
+    Projection proj = calibrate(t_seq, seq_stats);
+    double seq_ns = t_seq * 1e9;
+    speedup96.add_row(spec.cls, spec.name,
+                      {proj.speedup_at(96, pasgal_stats, seq_ns),
+                       proj.speedup_at(96, gbbs_stats, seq_ns),
+                       proj.speedup_at(96, multi_stats, seq_ns)});
+    std::fflush(stdout);
+  }
+
+  times.print("Table A3: SCC running time (this machine, 1 core)", "seconds");
+  rounds.print("SCC global synchronizations (rounds)", "count");
+  speedup96.print(
+      "SCC projected speedup over sequential Tarjan at P=96 (cost model)",
+      "speedup; <1 means slower than sequential");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Breadth-first search: PASGAL's VGC algorithm and the paper's baselines.
+//
+// All variants return the vector of hop distances from `source`
+// (kInfDist for unreachable vertices), so they are directly comparable.
+//
+//  * seq_bfs     — the paper's sequential baseline: queue-based BFS.
+//  * gbbs_bfs    — GBBS-style level-synchronous edge_map BFS with
+//                  sparse/dense direction optimization.
+//  * gapbs_bfs   — GAPBS-style direction-optimizing BFS (Beamer's alpha/beta
+//                  hysteresis controller).
+//  * pasgal_bfs  — this paper: hash-bag frontiers, vertical granularity
+//                  control with multi-frontier (2^i) distance buckets, and
+//                  direction optimization on clean dense levels (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "pasgal/stats.h"
+#include "pasgal/vgc.h"
+
+namespace pasgal {
+
+inline constexpr std::uint32_t kInfDist = static_cast<std::uint32_t>(-1);
+
+std::vector<std::uint32_t> seq_bfs(const Graph& g, VertexId source,
+                                   RunStats* stats = nullptr);
+
+// `gt` is the transpose (pass g itself for symmetric graphs); needed for the
+// dense (pull) direction.
+std::vector<std::uint32_t> gbbs_bfs(const Graph& g, const Graph& gt,
+                                    VertexId source, RunStats* stats = nullptr);
+
+struct GapbsParams {
+  int alpha = 15;  // switch to bottom-up when frontier edges > remaining/alpha
+  int beta = 18;   // switch back to top-down when |frontier| < n/beta
+};
+std::vector<std::uint32_t> gapbs_bfs(const Graph& g, const Graph& gt,
+                                     VertexId source, GapbsParams params = {},
+                                     RunStats* stats = nullptr);
+
+struct PasgalBfsParams {
+  VgcParams vgc;
+  // Engage VGC only when the frontier's work is below vgc_engage_factor*tau
+  // edge operations — i.e. when per-round work is too small to amortize
+  // scheduling on a many-core machine. Deliberately NOT scaled by the
+  // current worker count: the algorithm's round structure should not change
+  // with the machine it happens to run on.
+  std::uint32_t vgc_engage_factor = 16;
+  // Direction-optimization density threshold (frontier work > m/den).
+  EdgeId dense_threshold_den = 20;
+  bool use_dense = true;
+};
+std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
+                                      VertexId source,
+                                      PasgalBfsParams params = {},
+                                      RunStats* stats = nullptr);
+
+}  // namespace pasgal

@@ -1,0 +1,48 @@
+#include "algorithms/scc/condensation.h"
+
+#include <atomic>
+
+#include "parlay/primitives.h"
+
+namespace pasgal {
+
+Condensation scc_condensation(const Graph& g, std::span<const VertexId> labels) {
+  std::size_t n = g.num_vertices();
+  Condensation result;
+
+  // Dense ids for the component representatives (labels[v] == v).
+  std::vector<VertexId> dense(n, kInvalidVertex);
+  auto reps = pack_indexed<VertexId>(
+      n, [&](std::size_t v) { return labels[v] == static_cast<VertexId>(v); },
+      [&](std::size_t v) { return static_cast<VertexId>(v); });
+  parallel_for(0, reps.size(), [&](std::size_t i) {
+    dense[reps[i]] = static_cast<VertexId>(i);
+  });
+  result.representative = reps;
+  result.component_of.resize(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    result.component_of[v] = dense[labels[v]];
+  });
+
+  // Cross-component edges, deduplicated by the CSR builder.
+  std::vector<VertexId> edge_source(g.num_edges());
+  parallel_for(0, n, [&](std::size_t v) {
+    for (EdgeId e = g.edge_begin(static_cast<VertexId>(v));
+         e < g.edge_end(static_cast<VertexId>(v)); ++e) {
+      edge_source[e] = static_cast<VertexId>(v);
+    }
+  });
+  auto cross = pack_indexed<Edge>(
+      g.num_edges(),
+      [&](std::size_t e) {
+        return labels[edge_source[e]] != labels[g.edge_target(e)];
+      },
+      [&](std::size_t e) {
+        return Edge{result.component_of[edge_source[e]],
+                    result.component_of[g.edge_target(e)]};
+      });
+  result.dag = Graph::from_edges(reps.size(), cross, /*dedup=*/true);
+  return result;
+}
+
+}  // namespace pasgal

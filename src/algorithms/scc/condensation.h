@@ -1,0 +1,23 @@
+// SCC condensation: the DAG whose nodes are the strongly connected
+// components. Standard companion to SCC (dependency analysis, reachability
+// indexing); used by the dependency_resolver example.
+#pragma once
+
+#include <vector>
+
+#include "algorithms/scc/scc.h"
+#include "graphs/graph.h"
+
+namespace pasgal {
+
+struct Condensation {
+  Graph dag;                           // one vertex per SCC, deduped edges
+  std::vector<VertexId> component_of;  // original vertex -> dag vertex
+  std::vector<VertexId> representative;  // dag vertex -> an original vertex
+};
+
+// `labels` must be normalized (normalize_scc_labels): each SCC named by its
+// smallest member.
+Condensation scc_condensation(const Graph& g, std::span<const VertexId> labels);
+
+}  // namespace pasgal

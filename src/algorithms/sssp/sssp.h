@@ -1,0 +1,63 @@
+// Single-source shortest paths (§2.2 "Parallel SSSP").
+//
+// PASGAL's SSSP is the *stepping algorithm framework* (Dong, Gu, Sun,
+// PPoPP'21) instantiated with hash-bag frontiers and VGC:
+//   * delta-stepping  — process all entries within `delta` of the current
+//     base distance per step;
+//   * rho-stepping    — process the `rho` closest entries per step.
+// Both are label-correcting: entries carry the tentative distance they were
+// enqueued with and stale entries are skipped, so VGC's out-of-order local
+// relaxations are safe.
+//
+// Baselines: sequential Dijkstra (binary heap) and round-synchronous
+// frontier Bellman-Ford (the O(D)-rounds baseline).
+//
+// Edge weights are uint32; distances are uint64 (kInfWeightDist if
+// unreachable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "pasgal/stats.h"
+#include "pasgal/vgc.h"
+
+namespace pasgal {
+
+using Dist = std::uint64_t;
+inline constexpr Dist kInfWeightDist = static_cast<Dist>(-1);
+
+std::vector<Dist> dijkstra(const WeightedGraph<std::uint32_t>& g,
+                           VertexId source, RunStats* stats = nullptr);
+
+std::vector<Dist> bellman_ford(const WeightedGraph<std::uint32_t>& g,
+                               VertexId source, RunStats* stats = nullptr);
+
+struct SteppingParams {
+  enum class Strategy { kDelta, kRho };
+  Strategy strategy = Strategy::kRho;
+  Dist delta = 32;          // kDelta: bucket width
+  std::size_t rho = 8192;   // kRho: entries processed per step
+  VgcParams vgc;            // tau = 1 disables VGC
+};
+
+std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
+                                VertexId source, SteppingParams params = {},
+                                RunStats* stats = nullptr);
+
+// Convenience wrappers matching the paper's naming.
+inline std::vector<Dist> rho_stepping(const WeightedGraph<std::uint32_t>& g,
+                                      VertexId source, RunStats* stats = nullptr) {
+  return stepping_sssp(g, source, {}, stats);
+}
+inline std::vector<Dist> delta_stepping(const WeightedGraph<std::uint32_t>& g,
+                                        VertexId source, Dist delta = 32,
+                                        RunStats* stats = nullptr) {
+  SteppingParams p;
+  p.strategy = SteppingParams::Strategy::kDelta;
+  p.delta = delta;
+  return stepping_sssp(g, source, p, stats);
+}
+
+}  // namespace pasgal

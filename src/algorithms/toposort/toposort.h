@@ -1,0 +1,39 @@
+// Topological ordering of DAGs — another "peeling algorithm" in the family
+// the paper's conclusion targets. Kahn peeling has the same large-diameter
+// pathology as BFS: one synchronized wave per level of the DAG, and a deep
+// dependency chain means O(depth) rounds. VGC collapses in-task chains.
+//
+//  * seq_toposort    — Kahn's algorithm with a queue (sequential baseline).
+//  * pasgal_toposort — parallel Kahn over hash-bag frontiers with VGC:
+//                      finishing a vertex may drop a successor's in-degree
+//                      to zero; the task keeps peeling such chains locally.
+//
+// Both return `level[v]` = length of the longest path ending at v — a
+// canonical topological layering (u -> v implies level[u] < level[v]) that
+// is schedule-independent, so parallel and sequential outputs are directly
+// comparable. Returns an empty vector if the graph has a cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "pasgal/stats.h"
+#include "pasgal/vgc.h"
+
+namespace pasgal {
+
+std::vector<std::uint32_t> seq_toposort(const Graph& g, RunStats* stats = nullptr);
+
+struct ToposortParams {
+  VgcParams vgc;
+};
+
+std::vector<std::uint32_t> pasgal_toposort(const Graph& g,
+                                           ToposortParams params = {},
+                                           RunStats* stats = nullptr);
+
+// Convenience: vertices sorted by (level, id) — a concrete topological order.
+std::vector<VertexId> topological_order(std::span<const std::uint32_t> levels);
+
+}  // namespace pasgal

@@ -1,0 +1,152 @@
+#include "algorithms/tree/euler.h"
+
+#include <algorithm>
+
+#include "parlay/parallel.h"
+#include "parlay/primitives.h"
+
+namespace pasgal {
+
+std::vector<std::uint64_t> list_rank(std::span<const std::uint64_t> succ) {
+  std::size_t k = succ.size();
+  std::vector<std::uint64_t> rank(k, 1);
+  std::vector<std::uint64_t> next(succ.begin(), succ.end());
+  std::vector<std::uint64_t> rank2(k), next2(k);
+  // Pointer jumping: O(log L) synchronous rounds, each fully parallel.
+  for (;;) {
+    bool any = count_if_index(k, [&](std::size_t i) {
+                 return next[i] != kListEnd;
+               }) > 0;
+    if (!any) break;
+    parallel_for(0, k, [&](std::size_t i) {
+      if (next[i] == kListEnd) {
+        rank2[i] = rank[i];
+        next2[i] = kListEnd;
+      } else {
+        rank2[i] = rank[i] + rank[next[i]];
+        next2[i] = next[next[i]];
+      }
+    });
+    std::swap(rank, rank2);
+    std::swap(next, next2);
+  }
+  return rank;
+}
+
+EulerForest euler_tour_forest(std::size_t n, std::span<const Edge> forest_edges,
+                              std::span<const VertexId> component_label) {
+  // Symmetric CSR over the forest: each tree edge becomes two arcs.
+  std::vector<Edge> both(2 * forest_edges.size());
+  parallel_for(0, forest_edges.size(), [&](std::size_t i) {
+    both[2 * i] = forest_edges[i];
+    both[2 * i + 1] = Edge{forest_edges[i].to, forest_edges[i].from};
+  });
+  Graph tree = Graph::from_edges(n, both);
+  std::size_t k = tree.num_edges();
+
+  // Arc source lookup.
+  std::vector<VertexId> arc_source(k);
+  parallel_for(0, n, [&](std::size_t v) {
+    for (EdgeId e = tree.edge_begin(static_cast<VertexId>(v));
+         e < tree.edge_end(static_cast<VertexId>(v)); ++e) {
+      arc_source[e] = static_cast<VertexId>(v);
+    }
+  });
+
+  // twin(e): the reverse arc; adjacency lists are sorted and duplicate-free,
+  // so a binary search in the target's list finds it.
+  auto twin = [&](EdgeId e) -> EdgeId {
+    VertexId u = arc_source[e];
+    VertexId v = tree.edge_target(e);
+    auto nbrs = tree.neighbors(v);
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
+    return tree.edge_begin(v) + static_cast<EdgeId>(it - nbrs.begin());
+  };
+
+  // Euler circuit successor, then cut each tree's circuit at its root.
+  std::vector<std::uint64_t> succ(k);
+  parallel_for(0, k, [&](std::size_t e) {
+    VertexId v = tree.edge_target(static_cast<EdgeId>(e));
+    EdgeId tw = twin(static_cast<EdgeId>(e));
+    EdgeId pos = tw - tree.edge_begin(v);
+    EdgeId deg = tree.out_degree(v);
+    succ[e] = tree.edge_begin(v) + (pos + 1) % deg;
+  });
+  parallel_for(0, n, [&](std::size_t vi) {
+    VertexId v = static_cast<VertexId>(vi);
+    if (component_label[v] != v || tree.out_degree(v) == 0) return;
+    // v is a root: the tour starts at its first arc; the arc whose successor
+    // would wrap to it ends the list.
+    EdgeId start = tree.edge_begin(v);
+    EdgeId ender = twin(tree.edge_end(v) - 1);
+    (void)start;
+    succ[ender] = kListEnd;
+  });
+
+  auto rank = list_rank(succ);  // nodes from arc to its tree's tour end
+
+  // Disjoint position ranges per tree: tree t with tour length L occupies
+  // [offset, offset + L + 2) — the +2 leaves room for the root's own
+  // first/last around its arcs.
+  std::vector<std::uint64_t> offset_of_root(n, 0);
+  {
+    auto roots = pack_indexed<VertexId>(
+        n,
+        [&](std::size_t v) { return component_label[v] == v; },
+        [&](std::size_t v) { return static_cast<VertexId>(v); });
+    std::vector<std::uint64_t> spans(roots.size());
+    parallel_for(0, roots.size(), [&](std::size_t i) {
+      VertexId r = roots[i];
+      std::uint64_t len =
+          tree.out_degree(r) == 0 ? 0 : rank[tree.edge_begin(r)];
+      spans[i] = len + 2;
+    });
+    scan_inplace(std::span<std::uint64_t>(spans));
+    parallel_for(0, roots.size(),
+                 [&](std::size_t i) { offset_of_root[roots[i]] = spans[i]; });
+  }
+
+  // Global position of each arc along its tree's tour.
+  std::vector<std::uint64_t> pos(k);
+  parallel_for(0, k, [&](std::size_t e) {
+    VertexId root = component_label[arc_source[e]];
+    std::uint64_t len = rank[tree.edge_begin(root)];
+    pos[e] = offset_of_root[root] + (len - rank[e]);
+  });
+
+  EulerForest out;
+  out.parent.resize(n);
+  out.first.resize(n);
+  out.last.resize(n);
+  parallel_for(0, n, [&](std::size_t vi) {
+    VertexId v = static_cast<VertexId>(vi);
+    VertexId root = component_label[v];
+    if (root == v) {
+      out.parent[v] = v;
+      std::uint64_t len =
+          tree.out_degree(v) == 0 ? 0 : rank[tree.edge_begin(v)];
+      out.first[v] = offset_of_root[v];
+      out.last[v] = offset_of_root[v] + len + 1;
+      return;
+    }
+    // Of v's arcs' twins (arcs pointing at v), the one with the smallest
+    // position is the entry (down) arc; its source is the parent.
+    std::uint64_t best_pos = ~0ULL, worst_pos = 0;
+    VertexId parent = v;
+    for (EdgeId e = tree.edge_begin(v); e < tree.edge_end(v); ++e) {
+      EdgeId in_arc = twin(e);
+      if (pos[in_arc] < best_pos) {
+        best_pos = pos[in_arc];
+        parent = arc_source[in_arc];
+      }
+      // The exit time is just after the last arc leaving v.
+      worst_pos = std::max(worst_pos, pos[e]);
+    }
+    out.parent[v] = parent;
+    out.first[v] = best_pos + 1;
+    out.last[v] = worst_pos + 1;
+  });
+  return out;
+}
+
+}  // namespace pasgal

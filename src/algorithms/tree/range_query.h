@@ -1,0 +1,67 @@
+// Static segment tree for range min/max over a fixed array — O(n) space,
+// parallel O(n) build, O(log n) queries. Used by FAST-BCC to aggregate
+// low/high over subtree ranges in Euler-tour (preorder) order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parlay/parallel.h"
+
+namespace pasgal {
+
+template <typename T, typename Combine>
+class SegmentTree {
+ public:
+  SegmentTree(std::span<const T> data, T identity, Combine combine = Combine{})
+      : n_(data.size()), identity_(identity), combine_(combine),
+        tree_(2 * (n_ ? n_ : 1), identity) {
+    parallel_for(0, n_, [&](std::size_t i) { tree_[n_ + i] = data[i]; });
+    // Standard iterative bottom-up build (works for any n, not just powers
+    // of two). Linear and cheap relative to the graph work around it.
+    for (std::size_t i = n_; i-- > 1;) {
+      tree_[i] = combine_(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+
+  // Combine of data[lo, hi); identity if empty.
+  T query(std::size_t lo, std::size_t hi) const {
+    T left = identity_, right = identity_;
+    std::size_t l = lo + n_, r = hi + n_;
+    while (l < r) {
+      if (l & 1) left = combine_(left, tree_[l++]);
+      if (r & 1) right = combine_(tree_[--r], right);
+      l /= 2;
+      r /= 2;
+    }
+    return combine_(left, right);
+  }
+
+ private:
+  std::size_t n_;
+  T identity_;
+  Combine combine_;
+  std::vector<T> tree_;
+};
+
+struct MinCombine {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? a : b;
+  }
+};
+struct MaxCombine {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? b : a;
+  }
+};
+
+template <typename T>
+using RangeMin = SegmentTree<T, MinCombine>;
+template <typename T>
+using RangeMax = SegmentTree<T, MaxCombine>;
+
+}  // namespace pasgal

@@ -1,0 +1,241 @@
+// Deterministic graph generators standing in for the paper's datasets
+// (DESIGN.md §2). One generator per graph class:
+//   social/web -> rmat            (power law, low diameter)
+//   road       -> road_grid      (sparse, avg degree ~2.6, D ~ sqrt(n))
+//   k-NN       -> knn_graph      (geometric, large diameter)
+//   synthetic  -> rectangle_grid (REC), sampled_edges (SREC), chain, bubbles
+// All generators are pure functions of their arguments (hash-based RNG), so
+// every test/bench run sees identical graphs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "parlay/hash_rng.h"
+#include "parlay/parallel.h"
+#include "parlay/primitives.h"
+
+namespace pasgal::gen {
+
+// --- RMAT (Chakrabarti et al.) --------------------------------------------
+// Directed power-law graph on n = 2^log2_n vertices with ~m edges.
+// Defaults follow Graph500 (a=.57,b=.19,c=.19,d=.05).
+inline Graph rmat(int log2_n, std::size_t m, std::uint64_t seed = 1,
+                  double a = 0.57, double b = 0.19, double c = 0.19) {
+  std::size_t n = std::size_t{1} << log2_n;
+  Random rng(seed);
+  std::vector<Edge> edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    Random er = rng.fork(i);
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < log2_n; ++bit) {
+      double p = static_cast<double>(er.ith_rand(bit)) / 18446744073709551616.0;
+      if (p < a) {
+        // upper-left: no bits set
+      } else if (p < a + b) {
+        v |= VertexId{1} << bit;
+      } else if (p < a + b + c) {
+        u |= VertexId{1} << bit;
+      } else {
+        u |= VertexId{1} << bit;
+        v |= VertexId{1} << bit;
+      }
+    }
+    edges[i] = Edge{u, v};
+  });
+  return Graph::from_edges(n, edges, /*dedup=*/true, /*drop_self_loops=*/true);
+}
+
+// --- uniformly random directed graph ---------------------------------------
+inline Graph random_graph(std::size_t n, std::size_t m, std::uint64_t seed = 1) {
+  Random rng(seed);
+  std::vector<Edge> edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    edges[i] = Edge{static_cast<VertexId>(rng.ith_rand(2 * i) % n),
+                    static_cast<VertexId>(rng.ith_rand(2 * i + 1) % n)};
+  });
+  return Graph::from_edges(n, edges, /*dedup=*/true, /*drop_self_loops=*/true);
+}
+
+// --- rectangle grid (paper's REC) -------------------------------------------
+// rows x cols lattice, 4-neighbour, undirected (symmetric CSR). The paper's
+// REC is 10^3 x 10^5; diameter = rows + cols - 2.
+inline Graph rectangle_grid(std::size_t rows, std::size_t cols) {
+  std::size_t n = rows * cols;
+  std::vector<Edge> edges;
+  edges.reserve(4 * n);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      VertexId v = static_cast<VertexId>(r * cols + c);
+      if (c + 1 < cols) {
+        edges.push_back({v, v + 1});
+        edges.push_back({v + 1, v});
+      }
+      if (r + 1 < rows) {
+        VertexId below = static_cast<VertexId>((r + 1) * cols + c);
+        edges.push_back({v, below});
+        edges.push_back({below, v});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+// --- directed road-like grid -------------------------------------------------
+// Like rectangle_grid but each lattice edge keeps both directions with
+// probability `two_way`, else a hash-chosen single direction. Models road
+// networks with one-way streets: sparse, huge diameter, rich SCC structure.
+inline Graph road_grid(std::size_t rows, std::size_t cols, double two_way = 0.8,
+                       std::uint64_t seed = 7) {
+  std::size_t n = rows * cols;
+  Random rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(4 * n);
+  std::uint64_t counter = 0;
+  auto add = [&](VertexId u, VertexId v) {
+    std::uint64_t r = rng.ith_rand(counter++);
+    double p = static_cast<double>(r >> 11) / 9007199254740992.0;
+    if (p < two_way) {
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    } else if (r & 1) {
+      edges.push_back({u, v});
+    } else {
+      edges.push_back({v, u});
+    }
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      VertexId v = static_cast<VertexId>(r * cols + c);
+      if (c + 1 < cols) add(v, v + 1);
+      if (r + 1 < rows) add(v, static_cast<VertexId>((r + 1) * cols + c));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+// --- edge sampling (paper's SREC = sampled REC) ------------------------------
+inline Graph sampled_edges(const Graph& g, double keep_prob, std::uint64_t seed = 9) {
+  auto edges = g.to_edges();
+  Random rng(seed);
+  auto kept = pack_indexed<Edge>(
+      edges.size(),
+      [&](std::size_t i) {
+        return static_cast<double>(rng.ith_rand(i) >> 11) / 9007199254740992.0 <
+               keep_prob;
+      },
+      [&](std::size_t i) { return edges[i]; });
+  return Graph::from_edges(g.num_vertices(), kept);
+}
+
+// --- k-nearest-neighbour graph ----------------------------------------------
+// Points in [0,1)^2 (uniform, or `clusters` Gaussian-ish clusters); each
+// point gets directed edges to its k nearest neighbours, found via a uniform
+// cell grid. Symmetrized version models the paper's k-NN class.
+Graph knn_graph(std::size_t n, int k, std::uint64_t seed = 11, int clusters = 0);
+
+// --- elementary shapes --------------------------------------------------------
+inline Graph chain(std::size_t n, bool directed = false) {
+  std::vector<Edge> edges;
+  edges.reserve(2 * n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(i + 1)});
+    if (!directed) {
+      edges.push_back({static_cast<VertexId>(i + 1), static_cast<VertexId>(i)});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+inline Graph cycle(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back(
+        {static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n)});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+inline Graph star(std::size_t n) {  // undirected star, center 0
+  std::vector<Edge> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.push_back({0, static_cast<VertexId>(i)});
+    edges.push_back({static_cast<VertexId>(i), 0});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+inline Graph complete(std::size_t n) {  // directed complete graph (no loops)
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(j)});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+inline Graph binary_tree(std::size_t n) {  // undirected complete binary tree
+  std::vector<Edge> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    VertexId parent = static_cast<VertexId>((i - 1) / 2);
+    edges.push_back({parent, static_cast<VertexId>(i)});
+    edges.push_back({static_cast<VertexId>(i), parent});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+// --- bubble strip (paper's BBL/TRCE mesh class) ------------------------------
+// `count` rings ("bubbles") of `size` vertices each; consecutive rings share
+// a junction edge. Undirected, diameter ~ count * size / 2: a large-diameter
+// mesh with local width, like the nr-collection huge-bubbles graphs.
+inline Graph bubbles(std::size_t count, std::size_t size) {
+  std::vector<Edge> edges;
+  std::size_t n = count * size;
+  auto id = [&](std::size_t ring, std::size_t i) {
+    return static_cast<VertexId>(ring * size + i);
+  };
+  for (std::size_t ring = 0; ring < count; ++ring) {
+    for (std::size_t i = 0; i < size; ++i) {
+      VertexId u = id(ring, i);
+      VertexId v = id(ring, (i + 1) % size);
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+    if (ring + 1 < count) {
+      VertexId u = id(ring, size / 2);
+      VertexId v = id(ring + 1, 0);
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+// --- weights ------------------------------------------------------------------
+// Attach deterministic integer weights in [1, max_weight] to a graph.
+// A symmetric graph gets symmetric weights (weight depends on the unordered
+// endpoint pair), so undirected SSSP is well-defined.
+inline WeightedGraph<std::uint32_t> add_weights(const Graph& g,
+                                                std::uint32_t max_weight = 100,
+                                                std::uint64_t seed = 13) {
+  Random rng(seed);
+  std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> weights(g.num_edges());
+  parallel_for(0, n, [&](std::size_t u) {
+    for (EdgeId e = g.edge_begin(static_cast<VertexId>(u)); e < g.edge_end(static_cast<VertexId>(u)); ++e) {
+      VertexId v = g.edge_target(e);
+      std::uint64_t lo = std::min<std::uint64_t>(u, v);
+      std::uint64_t hi = std::max<std::uint64_t>(u, v);
+      weights[e] =
+          static_cast<std::uint32_t>(rng.ith_rand(lo * 0x1000003ULL + hi) % max_weight) + 1;
+    }
+  });
+  return WeightedGraph<std::uint32_t>(g, std::move(weights));
+}
+
+}  // namespace pasgal::gen

@@ -1,0 +1,293 @@
+// Compressed-sparse-row graph representation and builders.
+//
+// Vertex ids are 32-bit, edge ids 64-bit (matching the paper's scale needs;
+// Multistep's 32-bit edge limitation is one of its tabled weaknesses).
+// A directed graph is a single CSR; algorithms needing reverse edges take an
+// explicitly-built transpose. Undirected graphs are stored symmetrized (every
+// edge appears in both directions), as in GBBS/PBBS.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/primitives.h"
+#include "parlay/sort.h"
+
+namespace pasgal {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+struct Edge {
+  VertexId from = 0;
+  VertexId to = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+template <typename W>
+struct WeightedEdge {
+  VertexId from = 0;
+  VertexId to = 0;
+  W weight{};
+};
+
+// Unweighted CSR graph.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets)
+      : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+
+  std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_edges() const { return targets_.size(); }
+
+  EdgeId out_degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  EdgeId edge_begin(VertexId v) const { return offsets_[v]; }
+  EdgeId edge_end(VertexId v) const { return offsets_[v + 1]; }
+  VertexId edge_target(EdgeId e) const { return targets_[e]; }
+
+  std::span<const EdgeId> offsets() const { return offsets_; }
+  std::span<const VertexId> targets() const { return targets_; }
+
+  // Builds a CSR from an edge list (duplicates preserved unless dedup=true;
+  // self-loops preserved unless drop_self_loops=true). Stable counting-sort
+  // construction; O(n + m) work.
+  static Graph from_edges(std::size_t n, std::span<const Edge> edges,
+                          bool dedup = false, bool drop_self_loops = false);
+
+  // Reverse of every edge.
+  Graph transpose() const;
+
+  // Union of each edge with its reverse, deduplicated, self-loops dropped:
+  // the symmetrized graph used for BCC / undirected problems.
+  Graph symmetrize() const;
+
+  bool is_symmetric() const;
+
+  std::vector<Edge> to_edges() const {
+    std::vector<Edge> edges(num_edges());
+    parallel_for(0, num_vertices(), [&](std::size_t v) {
+      for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+        edges[e] = Edge{static_cast<VertexId>(v), targets_[e]};
+      }
+    });
+    return edges;
+  }
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<EdgeId> offsets_;   // size n+1
+  std::vector<VertexId> targets_; // size m
+};
+
+// Weighted CSR graph; weight i belongs to targets()[i].
+template <typename W>
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  WeightedGraph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+                std::vector<W> weights)
+      : graph_(std::move(offsets), std::move(targets)),
+        weights_(std::move(weights)) {}
+  WeightedGraph(Graph g, std::vector<W> weights)
+      : graph_(std::move(g)), weights_(std::move(weights)) {}
+
+  std::size_t num_vertices() const { return graph_.num_vertices(); }
+  std::size_t num_edges() const { return graph_.num_edges(); }
+  EdgeId out_degree(VertexId v) const { return graph_.out_degree(v); }
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return graph_.neighbors(v);
+  }
+  std::span<const W> neighbor_weights(VertexId v) const {
+    return {weights_.data() + graph_.edge_begin(v),
+            static_cast<std::size_t>(graph_.out_degree(v))};
+  }
+  EdgeId edge_begin(VertexId v) const { return graph_.edge_begin(v); }
+  EdgeId edge_end(VertexId v) const { return graph_.edge_end(v); }
+  VertexId edge_target(EdgeId e) const { return graph_.edge_target(e); }
+  W edge_weight(EdgeId e) const { return weights_[e]; }
+
+  const Graph& unweighted() const { return graph_; }
+
+  static WeightedGraph from_edges(std::size_t n,
+                                  std::span<const WeightedEdge<W>> edges);
+
+  WeightedGraph transpose() const;
+
+ private:
+  Graph graph_;
+  std::vector<W> weights_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+// Stable bucket placement of items keyed by vertex: returns (offsets, perm)
+// where perm is the index permutation grouping items by key.
+inline std::pair<std::vector<EdgeId>, std::vector<EdgeId>> bucket_by_source(
+    std::size_t n, std::size_t m, const auto& key_of) {
+  std::vector<std::atomic<EdgeId>> counts(n + 1);
+  parallel_for(0, n + 1,
+               [&](std::size_t i) { counts[i].store(0, std::memory_order_relaxed); });
+  parallel_for(0, m, [&](std::size_t i) {
+    counts[key_of(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<EdgeId> offsets(n + 1);
+  scan_indexed<EdgeId>(
+      n + 1, [&](std::size_t i) { return counts[i].load(std::memory_order_relaxed); },
+      [&](std::size_t i, EdgeId v) { offsets[i] = v; });
+  std::vector<std::atomic<EdgeId>> cursor(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    cursor[v].store(offsets[v], std::memory_order_relaxed);
+  });
+  std::vector<EdgeId> perm(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    EdgeId pos = cursor[key_of(i)].fetch_add(1, std::memory_order_relaxed);
+    perm[pos] = i;
+  });
+  return {std::move(offsets), std::move(perm)};
+}
+
+}  // namespace internal
+
+inline Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges,
+                               bool dedup, bool drop_self_loops) {
+  std::span<const Edge> input = edges;
+  std::vector<Edge> cleaned;
+  if (drop_self_loops) {
+    cleaned = filter(edges, [](const Edge& e) { return e.from != e.to; });
+    input = cleaned;
+  }
+  auto [offsets, perm] = internal::bucket_by_source(
+      n, input.size(), [&](std::size_t i) { return input[i].from; });
+  std::vector<VertexId> targets(input.size());
+  parallel_for(0, input.size(),
+               [&](std::size_t i) { targets[i] = input[perm[i]].to; });
+  // Sort each adjacency list for deterministic layout & fast dedup.
+  parallel_for(
+      0, n,
+      [&](std::size_t v) {
+        std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                  targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+      },
+      64);
+  if (!dedup) return Graph(std::move(offsets), std::move(targets));
+
+  // Remove duplicate targets per vertex.
+  std::vector<EdgeId> new_deg(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    EdgeId lo = offsets[v], hi = offsets[v + 1];
+    EdgeId count = 0;
+    for (EdgeId e = lo; e < hi; ++e) {
+      if (e == lo || targets[e] != targets[e - 1]) ++count;
+    }
+    new_deg[v] = count;
+  });
+  std::vector<EdgeId> new_offsets(n + 1);
+  new_offsets[n] = scan_indexed<EdgeId>(
+      n, [&](std::size_t v) { return new_deg[v]; },
+      [&](std::size_t v, EdgeId x) { new_offsets[v] = x; });
+  std::vector<VertexId> new_targets(new_offsets[n]);
+  parallel_for(0, n, [&](std::size_t v) {
+    EdgeId out = new_offsets[v];
+    EdgeId lo = offsets[v], hi = offsets[v + 1];
+    for (EdgeId e = lo; e < hi; ++e) {
+      if (e == lo || targets[e] != targets[e - 1]) new_targets[out++] = targets[e];
+    }
+  });
+  return Graph(std::move(new_offsets), std::move(new_targets));
+}
+
+inline Graph Graph::transpose() const {
+  std::size_t n = num_vertices();
+  std::size_t m = num_edges();
+  // Source of edge e: invert via offsets. Precompute per-edge source.
+  std::vector<VertexId> source(m);
+  parallel_for(0, n, [&](std::size_t v) {
+    for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      source[e] = static_cast<VertexId>(v);
+    }
+  });
+  auto [offsets, perm] = internal::bucket_by_source(
+      n, m, [&](std::size_t e) { return targets_[e]; });
+  std::vector<VertexId> targets(m);
+  parallel_for(0, m, [&](std::size_t i) { targets[i] = source[perm[i]]; });
+  parallel_for(
+      0, n,
+      [&](std::size_t v) {
+        std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                  targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+      },
+      64);
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+inline Graph Graph::symmetrize() const {
+  std::size_t n = num_vertices();
+  std::size_t m = num_edges();
+  std::vector<Edge> both(2 * m);
+  parallel_for(0, n, [&](std::size_t v) {
+    for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      both[2 * e] = Edge{static_cast<VertexId>(v), targets_[e]};
+      both[2 * e + 1] = Edge{targets_[e], static_cast<VertexId>(v)};
+    }
+  });
+  return from_edges(n, both, /*dedup=*/true, /*drop_self_loops=*/true);
+}
+
+inline bool Graph::is_symmetric() const {
+  Graph t = transpose();
+  Graph self = from_edges(num_vertices(), to_edges());  // sorted lists
+  return self == t;
+}
+
+template <typename W>
+WeightedGraph<W> WeightedGraph<W>::from_edges(
+    std::size_t n, std::span<const WeightedEdge<W>> edges) {
+  std::size_t m = edges.size();
+  auto [offsets, perm] = internal::bucket_by_source(
+      n, m, [&](std::size_t i) { return edges[i].from; });
+  std::vector<VertexId> targets(m);
+  std::vector<W> weights(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    targets[i] = edges[perm[i]].to;
+    weights[i] = edges[perm[i]].weight;
+  });
+  return WeightedGraph<W>(std::move(offsets), std::move(targets),
+                          std::move(weights));
+}
+
+template <typename W>
+WeightedGraph<W> WeightedGraph<W>::transpose() const {
+  std::size_t n = num_vertices();
+  std::size_t m = num_edges();
+  std::vector<WeightedEdge<W>> reversed(m);
+  parallel_for(0, n, [&](std::size_t v) {
+    for (EdgeId e = edge_begin(v); e < edge_end(v); ++e) {
+      reversed[e] =
+          WeightedEdge<W>{edge_target(e), static_cast<VertexId>(v), weights_[e]};
+    }
+  });
+  return from_edges(n, reversed);
+}
+
+}  // namespace pasgal

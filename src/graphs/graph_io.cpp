@@ -1,0 +1,172 @@
+#include "graphs/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pasgal {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("graph_io: " + path + ": " + why);
+}
+
+void expect_header(std::istream& in, const std::string& path,
+                   const std::string& expected) {
+  std::string header;
+  if (!(in >> header) || header != expected) {
+    fail(path, "expected header '" + expected + "', got '" + header + "'");
+  }
+}
+
+}  // namespace
+
+void write_adj(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "AdjacencyGraph\n" << g.num_vertices() << '\n' << g.num_edges() << '\n';
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) out << g.offsets()[v] << '\n';
+  for (VertexId t : g.targets()) out << t << '\n';
+  if (!out) fail(path, "write error");
+}
+
+Graph read_adj(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  expect_header(in, path, "AdjacencyGraph");
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m)) fail(path, "bad n/m");
+  std::vector<EdgeId> offsets(n + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!(in >> offsets[v])) fail(path, "truncated offsets");
+  }
+  offsets[n] = m;
+  std::vector<VertexId> targets(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!(in >> targets[e])) fail(path, "truncated targets");
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+void write_adj(const WeightedGraph<std::uint32_t>& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "WeightedAdjacencyGraph\n"
+      << g.num_vertices() << '\n'
+      << g.num_edges() << '\n';
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    out << g.unweighted().offsets()[v] << '\n';
+  }
+  for (VertexId t : g.unweighted().targets()) out << t << '\n';
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    out << g.edge_weight(e) << '\n';
+  }
+  if (!out) fail(path, "write error");
+}
+
+WeightedGraph<std::uint32_t> read_weighted_adj(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  expect_header(in, path, "WeightedAdjacencyGraph");
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m)) fail(path, "bad n/m");
+  std::vector<EdgeId> offsets(n + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!(in >> offsets[v])) fail(path, "truncated offsets");
+  }
+  offsets[n] = m;
+  std::vector<VertexId> targets(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!(in >> targets[e])) fail(path, "truncated targets");
+  }
+  std::vector<std::uint32_t> weights(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!(in >> weights[e])) fail(path, "truncated weights");
+  }
+  return WeightedGraph<std::uint32_t>(std::move(offsets), std::move(targets),
+                                      std::move(weights));
+}
+
+void write_bin(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  std::uint64_t n = g.num_vertices();
+  std::uint64_t m = g.num_edges();
+  std::uint64_t size_bytes = 3 * sizeof(std::uint64_t) +
+                             (n + 1) * sizeof(std::uint64_t) +
+                             m * sizeof(std::uint32_t);
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(&size_bytes), sizeof(size_bytes));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
+  if (!out) fail(path, "write error");
+}
+
+void write_bin(const WeightedGraph<std::uint32_t>& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  std::uint64_t n = g.num_vertices();
+  std::uint64_t m = g.num_edges();
+  std::uint64_t size_bytes = 3 * sizeof(std::uint64_t) +
+                             (n + 1) * sizeof(std::uint64_t) +
+                             2 * m * sizeof(std::uint32_t);
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(&size_bytes), sizeof(size_bytes));
+  out.write(reinterpret_cast<const char*>(g.unweighted().offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(g.unweighted().targets().data()),
+            static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t w = g.edge_weight(e);
+    out.write(reinterpret_cast<const char*>(&w), sizeof(w));
+  }
+  if (!out) fail(path, "write error");
+}
+
+WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::uint64_t n = 0, m = 0, size_bytes = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  in.read(reinterpret_cast<char*>(&size_bytes), sizeof(size_bytes));
+  if (!in) fail(path, "truncated header");
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  std::vector<std::uint32_t> weights(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
+  if (!in) fail(path, "truncated body");
+  return WeightedGraph<std::uint32_t>(std::move(offsets), std::move(targets),
+                                      std::move(weights));
+}
+
+Graph read_bin(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::uint64_t n = 0, m = 0, size_bytes = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  in.read(reinterpret_cast<char*>(&size_bytes), sizeof(size_bytes));
+  if (!in) fail(path, "truncated header");
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
+  if (!in) fail(path, "truncated body");
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace pasgal

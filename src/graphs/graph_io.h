@@ -1,0 +1,32 @@
+// Graph serialization in the two formats PASGAL supports:
+//  * `.adj`  — PBBS text AdjacencyGraph format:
+//              "AdjacencyGraph\n<n>\n<m>\n" then n offsets, then m targets,
+//              one integer per line. Weighted variant uses
+//              "WeightedAdjacencyGraph" and appends m weights.
+//  * `.bin`  — GBBS binary CSR format: three u64 header words
+//              (n, m, total size in bytes) followed by (n+1) u64 offsets and
+//              m u32 targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graphs/graph.h"
+
+namespace pasgal {
+
+void write_adj(const Graph& g, const std::string& path);
+Graph read_adj(const std::string& path);
+
+void write_adj(const WeightedGraph<std::uint32_t>& g, const std::string& path);
+WeightedGraph<std::uint32_t> read_weighted_adj(const std::string& path);
+
+void write_bin(const Graph& g, const std::string& path);
+Graph read_bin(const std::string& path);
+
+// Weighted binary format: the unweighted header/body followed by m u32
+// weights (the layout GBBS uses for its weighted .bin graphs).
+void write_bin(const WeightedGraph<std::uint32_t>& g, const std::string& path);
+WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path);
+
+}  // namespace pasgal

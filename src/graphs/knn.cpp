@@ -1,0 +1,145 @@
+// k-nearest-neighbour graph generator using a uniform cell grid.
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graphs/generators.h"
+
+namespace pasgal::gen {
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+double sq_dist(Point a, Point b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+Graph knn_graph(std::size_t n, int k, std::uint64_t seed, int clusters) {
+  Random rng(seed);
+  std::vector<Point> pts(n);
+  if (clusters <= 0) {
+    parallel_for(0, n, [&](std::size_t i) {
+      pts[i] = {static_cast<double>(rng.ith_rand(2 * i) >> 11) / 9007199254740992.0,
+                static_cast<double>(rng.ith_rand(2 * i + 1) >> 11) / 9007199254740992.0};
+    });
+  } else {
+    // Cluster centres on a coarse ring; points offset from their centre.
+    parallel_for(0, n, [&](std::size_t i) {
+      int c = static_cast<int>(rng.ith_rand(3 * i) % static_cast<std::uint64_t>(clusters));
+      double angle = 2.0 * 3.141592653589793 * c / clusters;
+      double cx = 0.5 + 0.35 * std::cos(angle);
+      double cy = 0.5 + 0.35 * std::sin(angle);
+      double ox = (static_cast<double>(rng.ith_rand(3 * i + 1) >> 11) / 9007199254740992.0 - 0.5) * 0.2;
+      double oy = (static_cast<double>(rng.ith_rand(3 * i + 2) >> 11) / 9007199254740992.0 - 0.5) * 0.2;
+      pts[i] = {cx + ox, cy + oy};
+    });
+  }
+
+  // Cell grid: ~2 points per cell on average.
+  std::size_t grid = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n) / 2.0)));
+  auto cell_of = [&](Point p) {
+    std::size_t cx = std::min<std::size_t>(
+        grid - 1, static_cast<std::size_t>(std::clamp(p.x, 0.0, 0.999999) * grid));
+    std::size_t cy = std::min<std::size_t>(
+        grid - 1, static_cast<std::size_t>(std::clamp(p.y, 0.0, 0.999999) * grid));
+    return cy * grid + cx;
+  };
+
+  // Bucket points by cell (counting sort).
+  std::size_t num_cells = grid * grid;
+  std::vector<std::atomic<std::uint32_t>> counts(num_cells);
+  parallel_for(0, num_cells,
+               [&](std::size_t i) { counts[i].store(0, std::memory_order_relaxed); });
+  parallel_for(0, n, [&](std::size_t i) {
+    counts[cell_of(pts[i])].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::size_t> cell_offsets(num_cells + 1);
+  cell_offsets[num_cells] = scan_indexed<std::size_t>(
+      num_cells, [&](std::size_t i) { return counts[i].load(std::memory_order_relaxed); },
+      [&](std::size_t i, std::size_t v) { cell_offsets[i] = v; });
+  std::vector<std::atomic<std::size_t>> cursor(num_cells);
+  parallel_for(0, num_cells, [&](std::size_t i) {
+    cursor[i].store(cell_offsets[i], std::memory_order_relaxed);
+  });
+  std::vector<std::uint32_t> cell_points(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    std::size_t pos = cursor[cell_of(pts[i])].fetch_add(1, std::memory_order_relaxed);
+    cell_points[pos] = static_cast<std::uint32_t>(i);
+  });
+
+  // For each point, expand rings of cells until k neighbours are certain.
+  std::vector<Edge> edges(n * static_cast<std::size_t>(k));
+  parallel_for(0, n, [&](std::size_t i) {
+    Point p = pts[i];
+    std::size_t ccx = std::min<std::size_t>(
+        grid - 1, static_cast<std::size_t>(std::clamp(p.x, 0.0, 0.999999) * grid));
+    std::size_t ccy = std::min<std::size_t>(
+        grid - 1, static_cast<std::size_t>(std::clamp(p.y, 0.0, 0.999999) * grid));
+    // Max-heap of (distance, id), keeping the k closest.
+    std::priority_queue<std::pair<double, std::uint32_t>> best;
+    double cell_w = 1.0 / static_cast<double>(grid);
+    for (std::size_t ring = 0; ring < grid; ++ring) {
+      // If we already have k and the closest possible point in this ring is
+      // farther than our worst, stop.
+      if (best.size() == static_cast<std::size_t>(k) && ring > 0) {
+        double min_ring_dist = (static_cast<double>(ring) - 1.0) * cell_w;
+        if (min_ring_dist > 0 && min_ring_dist * min_ring_dist > best.top().first) break;
+      }
+      std::ptrdiff_t lo_x = static_cast<std::ptrdiff_t>(ccx) - static_cast<std::ptrdiff_t>(ring);
+      std::ptrdiff_t hi_x = static_cast<std::ptrdiff_t>(ccx) + static_cast<std::ptrdiff_t>(ring);
+      std::ptrdiff_t lo_y = static_cast<std::ptrdiff_t>(ccy) - static_cast<std::ptrdiff_t>(ring);
+      std::ptrdiff_t hi_y = static_cast<std::ptrdiff_t>(ccy) + static_cast<std::ptrdiff_t>(ring);
+      auto scan_cell = [&](std::ptrdiff_t cx, std::ptrdiff_t cy) {
+        if (cx < 0 || cy < 0 || cx >= static_cast<std::ptrdiff_t>(grid) ||
+            cy >= static_cast<std::ptrdiff_t>(grid)) {
+          return;
+        }
+        std::size_t cell = static_cast<std::size_t>(cy) * grid + static_cast<std::size_t>(cx);
+        for (std::size_t s = cell_offsets[cell]; s < cell_offsets[cell + 1]; ++s) {
+          std::uint32_t j = cell_points[s];
+          if (j == i) continue;
+          double d = sq_dist(p, pts[j]);
+          if (best.size() < static_cast<std::size_t>(k)) {
+            best.emplace(d, j);
+          } else if (d < best.top().first) {
+            best.pop();
+            best.emplace(d, j);
+          }
+        }
+      };
+      if (ring == 0) {
+        scan_cell(static_cast<std::ptrdiff_t>(ccx), static_cast<std::ptrdiff_t>(ccy));
+      } else {
+        for (std::ptrdiff_t cx = lo_x; cx <= hi_x; ++cx) {
+          scan_cell(cx, lo_y);
+          scan_cell(cx, hi_y);
+        }
+        for (std::ptrdiff_t cy = lo_y + 1; cy < hi_y; ++cy) {
+          scan_cell(lo_x, cy);
+          scan_cell(hi_x, cy);
+        }
+      }
+    }
+    std::size_t base = i * static_cast<std::size_t>(k);
+    std::size_t got = best.size();
+    // Fewer than k neighbours only if n <= k; pad with self-loop-free repeats.
+    std::size_t e = 0;
+    while (!best.empty()) {
+      edges[base + e++] = Edge{static_cast<VertexId>(i), best.top().second};
+      best.pop();
+    }
+    for (; e < static_cast<std::size_t>(k); ++e) {
+      edges[base + e] = edges[base + (got ? e % got : 0)];
+    }
+  });
+  return Graph::from_edges(n, edges, /*dedup=*/true, /*drop_self_loops=*/true);
+}
+
+}  // namespace pasgal::gen

@@ -1,0 +1,72 @@
+// Parallel loop primitives on top of the fork-join scheduler.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "parlay/scheduler.h"
+
+namespace pasgal {
+
+namespace internal {
+
+template <typename F>
+void parallel_for_recurse(std::size_t lo, std::size_t hi, const F& f,
+                          std::size_t granularity) {
+  if (hi - lo <= granularity) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+  } else {
+    std::size_t mid = lo + (hi - lo) / 2;
+    par_do([&] { parallel_for_recurse(lo, mid, f, granularity); },
+           [&] { parallel_for_recurse(mid, hi, f, granularity); });
+  }
+}
+
+// Heuristic leaf size: enough chunks for load balance (8 per worker at the
+// top level, more as the range shrinks), but never microscopic leaves.
+inline std::size_t auto_granularity(std::size_t n) {
+  int p = num_workers();
+  if (p == 1) return n == 0 ? 1 : n;
+  std::size_t chunks = static_cast<std::size_t>(p) * 8;
+  std::size_t g = n / chunks;
+  return std::clamp<std::size_t>(g, 1, 4096);
+}
+
+}  // namespace internal
+
+// Apply f(i) for each i in [start, end), in parallel. `granularity` is the
+// leaf size below which iterations run sequentially (0 = automatic).
+template <typename F>
+void parallel_for(std::size_t start, std::size_t end, const F& f,
+                  std::size_t granularity = 0) {
+  if (start >= end) return;
+  std::size_t n = end - start;
+  if (granularity == 0) granularity = internal::auto_granularity(n);
+  if (n <= granularity || num_workers() == 1) {
+    for (std::size_t i = start; i < end; ++i) f(i);
+  } else {
+    internal::parallel_for_recurse(start, end, f, granularity);
+  }
+}
+
+// Apply f(block_lo, block_hi) over contiguous blocks of [start, end) in
+// parallel; the callee handles a whole block (useful when per-block state,
+// e.g. a local buffer, is worth amortizing).
+template <typename F>
+void blocked_for(std::size_t start, std::size_t end, std::size_t block_size,
+                 const F& f) {
+  if (start >= end) return;
+  std::size_t n = end - start;
+  std::size_t num_blocks = (n + block_size - 1) / block_size;
+  parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = start + b * block_size;
+        std::size_t hi = std::min(end, lo + block_size);
+        f(b, lo, hi);
+      },
+      1);
+}
+
+}  // namespace pasgal

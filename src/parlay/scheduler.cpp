@@ -1,0 +1,116 @@
+#include "parlay/scheduler.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace pasgal {
+
+namespace {
+
+thread_local int tls_worker_id = 0;
+
+int default_num_workers() {
+  if (const char* env = std::getenv("PASGAL_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::unique_ptr<Scheduler>& scheduler_slot() {
+  static std::unique_ptr<Scheduler> slot;
+  return slot;
+}
+
+std::mutex& scheduler_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Scheduler& Scheduler::instance() {
+  auto& slot = scheduler_slot();
+  if (!slot) {
+    std::lock_guard<std::mutex> lock(scheduler_mutex());
+    if (!slot) slot.reset(new Scheduler(default_num_workers()));
+  }
+  return *slot;
+}
+
+void Scheduler::reset(int num_workers) {
+  std::lock_guard<std::mutex> lock(scheduler_mutex());
+  auto& slot = scheduler_slot();
+  slot.reset();  // join old pool first
+  slot.reset(new Scheduler(num_workers < 1 ? 1 : num_workers));
+}
+
+int Scheduler::worker_id() { return tls_worker_id; }
+
+Scheduler::Scheduler(int num_workers)
+    : num_workers_(num_workers), deques_(static_cast<std::size_t>(num_workers)) {
+  tls_worker_id = 0;  // the constructing thread is worker 0
+  threads_.reserve(static_cast<std::size_t>(num_workers_ - 1));
+  for (int id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+Job* Scheduler::try_steal(std::uint64_t& rng_state) {
+  // xorshift for victim selection; try every worker once in a random rotation.
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 7;
+  rng_state ^= rng_state << 17;
+  int self = worker_id();
+  int start = static_cast<int>(rng_state % static_cast<std::uint64_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    int victim = start + i;
+    if (victim >= num_workers_) victim -= num_workers_;
+    if (victim == self) continue;
+    if (Job* job = deques_[static_cast<std::size_t>(victim)].steal_top()) return job;
+  }
+  return nullptr;
+}
+
+void Scheduler::wait_for(const Job& job) {
+  std::uint64_t rng_state =
+      0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(worker_id()) + 1);
+  int failures = 0;
+  while (!job.finished()) {
+    if (Job* stolen = try_steal(rng_state)) {
+      failures = 0;
+      stolen->execute();
+    } else if (++failures < 32) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Scheduler::worker_loop(int id) {
+  tls_worker_id = id;
+  std::uint64_t rng_state =
+      0xbf58476d1ce4e5b9ULL ^ (static_cast<std::uint64_t>(id) + 1);
+  int failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Job* job = try_steal(rng_state)) {
+      failures = 0;
+      job->execute();
+    } else if (++failures < 32) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(failures < 256 ? 50 : 500));
+    }
+  }
+}
+
+}  // namespace pasgal

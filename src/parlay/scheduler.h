@@ -1,0 +1,202 @@
+// Work-stealing fork-join scheduler.
+//
+// This is the concurrency substrate of the library, playing the role
+// ParlayLib plays for the original PASGAL: binary fork-join (`par_do`)
+// on top of per-worker Chase-Lev work-stealing deques.
+//
+// Design notes:
+//  * Jobs are stack-allocated in the forking frame; a job is a pointer to a
+//    type-erased callable plus a completion flag. The forker either pops its
+//    own job back (the common, allocation-free fast path) or, if a thief
+//    stole it, helps by stealing other work until the thief finishes it.
+//  * Deques are bounded (per-worker). If a deque ever fills up, `par_do`
+//    degrades gracefully to sequential execution, which is always correct.
+//  * Thieves back off exponentially (yield, then short sleeps) so an idle
+//    pool does not burn cores.
+//  * The pool size is fixed at construction. `Scheduler::reset(n)` tears the
+//    pool down and rebuilds it; this is intended for tests and benchmarks,
+//    not for use while parallel work is in flight.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace pasgal {
+
+// A unit of schedulable work. Instances live on the stack of the forking
+// frame; `done` is set (with release ordering) after the callable returns.
+class Job {
+ public:
+  virtual void execute() = 0;
+
+  bool finished() const { return done_.load(std::memory_order_acquire); }
+  void mark_done() { done_.store(true, std::memory_order_release); }
+
+ protected:
+  ~Job() = default;
+
+ private:
+  std::atomic<bool> done_{false};
+};
+
+template <typename F>
+class FuncJob final : public Job {
+ public:
+  explicit FuncJob(F& f) : f_(f) {}
+  void execute() override {
+    f_();
+    mark_done();
+  }
+
+ private:
+  F& f_;
+};
+
+// Bounded Chase-Lev deque. The owner pushes/pops at the bottom; thieves take
+// from the top. Capacity must be a power of two.
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t capacity_log2 = 13)
+      : mask_((std::size_t{1} << capacity_log2) - 1),
+        buffer_(std::size_t{1} << capacity_log2) {
+    for (auto& slot : buffer_) slot.store(nullptr, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns false if the deque is full.
+  bool push_bottom(Job* job) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    if (static_cast<std::size_t>(b - t) > mask_) return false;  // full
+    buffer_[static_cast<std::size_t>(b) & mask_].store(job, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Owner only. Returns nullptr if empty or lost the race on the last item.
+  Job* pop_bottom() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Job* job = buffer_[static_cast<std::size_t>(b) & mask_].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race with thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        job = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  // Any thread. Returns nullptr if empty or lost a race.
+  Job* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;  // empty
+    Job* job = buffer_[static_cast<std::size_t>(t) & mask_].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return job;
+  }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::size_t mask_;
+  std::vector<std::atomic<Job*>> buffer_;
+};
+
+class Scheduler {
+ public:
+  // Number of workers (including the calling/main thread as worker 0).
+  // Defaults to PASGAL_NUM_THREADS if set, else hardware concurrency.
+  static Scheduler& instance();
+
+  // Tear down and rebuild the pool with `num_workers` workers. Must not be
+  // called while parallel work is running. Intended for tests/benches.
+  static void reset(int num_workers);
+
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  // Index of the calling thread within the pool; threads that are not pool
+  // members (only possible if the user spawns their own threads) map to 0.
+  static int worker_id();
+
+  // Push a job onto the calling worker's deque. Returns false if full.
+  bool push_local(Job* job) { return deques_[checked_worker_id()].push_bottom(job); }
+
+  // Pop the most recently pushed job from the calling worker's deque.
+  Job* pop_local() { return deques_[checked_worker_id()].pop_bottom(); }
+
+  // Cooperatively wait for `job` to finish, stealing other work meanwhile.
+  void wait_for(const Job& job);
+
+ private:
+  explicit Scheduler(int num_workers);
+
+  int checked_worker_id() const {
+    int id = worker_id();
+    assert(id >= 0 && id < num_workers_);
+    return id;
+  }
+
+  Job* try_steal(std::uint64_t& rng_state);
+  void worker_loop(int id);
+
+  int num_workers_;
+  std::atomic<bool> shutdown_{false};
+  std::vector<WorkStealingDeque> deques_;
+  std::vector<std::thread> threads_;
+};
+
+inline int num_workers() { return Scheduler::instance().num_workers(); }
+inline int worker_id() { return Scheduler::worker_id(); }
+
+// Run `left()` and `right()`, potentially in parallel. Both complete before
+// par_do returns. Nested calls are fine and are the normal mode of use.
+template <typename L, typename R>
+void par_do(L&& left, R&& right) {
+  Scheduler& sched = Scheduler::instance();
+  if (sched.num_workers() == 1) {
+    left();
+    right();
+    return;
+  }
+  auto right_wrapper = [&right] { right(); };
+  FuncJob<decltype(right_wrapper)> job(right_wrapper);
+  if (!sched.push_local(&job)) {  // deque full: degrade to sequential
+    left();
+    right();
+    return;
+  }
+  left();
+  // All jobs forked inside left() have been joined by the time it returns,
+  // so the bottom of our deque is either `job` or empty (if stolen).
+  Job* mine = sched.pop_local();
+  if (mine != nullptr) {
+    assert(mine == &job);
+    mine->execute();
+  } else {
+    sched.wait_for(job);
+  }
+}
+
+}  // namespace pasgal

@@ -1,0 +1,81 @@
+// Higher-level sequence operations built on sort/scan: random permutation,
+// duplicate removal, group-by (semisort-style API). Completes the substrate
+// parity with the upstream library's utility layer.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "parlay/hash_rng.h"
+#include "parlay/primitives.h"
+#include "parlay/sort.h"
+
+namespace pasgal {
+
+// Deterministic pseudo-random permutation of [0, n): sort indices by a
+// hashed key (ties broken by index, so the result is schedule-independent).
+inline std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                     std::uint64_t seed = 1) {
+  Random rng(seed);
+  auto perm = tabulate(n, [](std::size_t i) { return static_cast<std::uint32_t>(i); });
+  sort_inplace(std::span<std::uint32_t>(perm),
+               [&](std::uint32_t a, std::uint32_t b) {
+                 auto ka = rng.ith_rand(a), kb = rng.ith_rand(b);
+                 return ka != kb ? ka < kb : a < b;
+               });
+  return perm;
+}
+
+// Sorted distinct values of the input.
+template <typename T>
+std::vector<T> remove_duplicates(std::span<const T> in) {
+  if (in.empty()) return {};
+  auto data = sorted(in);
+  return pack_indexed<T>(
+      data.size(),
+      [&](std::size_t i) { return i == 0 || data[i] != data[i - 1]; },
+      [&](std::size_t i) { return data[i]; });
+}
+
+template <typename T>
+std::size_t count_distinct(std::span<const T> in) {
+  if (in.empty()) return 0;
+  auto data = sorted(in);
+  return count_if_index(data.size(), [&](std::size_t i) {
+    return i == 0 || data[i] != data[i - 1];
+  });
+}
+
+// Semisort-style group-by: returns (key, all values with that key), keys in
+// ascending order, values in stable input order.
+template <typename K, typename V>
+std::vector<std::pair<K, std::vector<V>>> group_by_key(
+    std::span<const std::pair<K, V>> in) {
+  std::size_t n = in.size();
+  if (n == 0) return {};
+  auto data = tabulate(n, [&](std::size_t i) { return in[i]; });
+  sort_inplace(std::span<std::pair<K, V>>(data),
+               [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                 return a.first < b.first;
+               });
+  auto starts = pack_index(n, [&](std::size_t i) {
+    return i == 0 || data[i].first != data[i - 1].first;
+  });
+  std::vector<std::pair<K, std::vector<V>>> groups(starts.size());
+  parallel_for(
+      0, starts.size(),
+      [&](std::size_t gi) {
+        std::size_t lo = starts[gi];
+        std::size_t hi = gi + 1 < starts.size() ? starts[gi + 1] : n;
+        groups[gi].first = data[lo].first;
+        groups[gi].second.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          groups[gi].second.push_back(data[i].second);
+        }
+      },
+      1);
+  return groups;
+}
+
+}  // namespace pasgal

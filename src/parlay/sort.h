@@ -1,0 +1,133 @@
+// Parallel sorting: comparison merge sort and stable LSD radix sort.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/primitives.h"
+
+namespace pasgal {
+
+namespace internal {
+
+inline constexpr std::size_t kSortBase = 8192;
+
+template <typename It, typename OutIt, typename Cmp>
+void parallel_merge(It a_lo, It a_hi, It b_lo, It b_hi, OutIt out, const Cmp& cmp) {
+  std::size_t na = static_cast<std::size_t>(a_hi - a_lo);
+  std::size_t nb = static_cast<std::size_t>(b_hi - b_lo);
+  if (na + nb <= kSortBase) {
+    std::merge(a_lo, a_hi, b_lo, b_hi, out, cmp);
+    return;
+  }
+  // Split the larger run at its median; binary-search the split point in the
+  // other run. The bound choice (lower vs upper) keeps the merge stable with
+  // run A's elements first among equals.
+  It a_mid, b_mid;
+  if (na >= nb) {
+    a_mid = a_lo + static_cast<std::ptrdiff_t>(na / 2);
+    b_mid = std::lower_bound(b_lo, b_hi, *a_mid, cmp);
+  } else {
+    b_mid = b_lo + static_cast<std::ptrdiff_t>(nb / 2);
+    a_mid = std::upper_bound(a_lo, a_hi, *b_mid, cmp);
+  }
+  OutIt out_mid = out + (a_mid - a_lo) + (b_mid - b_lo);
+  par_do([&] { parallel_merge(a_lo, a_mid, b_lo, b_mid, out, cmp); },
+         [&] { parallel_merge(a_mid, a_hi, b_mid, b_hi, out_mid, cmp); });
+}
+
+// Sorts [lo, hi); `to_buf` says whether the sorted output should land in the
+// buffer range (true) or in place (false).
+template <typename T, typename Cmp>
+void merge_sort_recurse(T* lo, T* hi, T* buf, bool to_buf, const Cmp& cmp) {
+  std::size_t n = static_cast<std::size_t>(hi - lo);
+  if (n <= kSortBase) {
+    std::stable_sort(lo, hi, cmp);
+    if (to_buf) std::copy(lo, hi, buf);
+    return;
+  }
+  std::size_t half = n / 2;
+  par_do([&] { merge_sort_recurse(lo, lo + half, buf, !to_buf, cmp); },
+         [&] { merge_sort_recurse(lo + half, hi, buf + half, !to_buf, cmp); });
+  if (to_buf) {
+    parallel_merge(lo, lo + half, lo + half, hi, buf, cmp);
+  } else {
+    parallel_merge(buf, buf + half, buf + half, buf + static_cast<std::ptrdiff_t>(n),
+                   lo, cmp);
+  }
+}
+
+}  // namespace internal
+
+// Stable parallel comparison sort (in place).
+template <typename T, typename Cmp = std::less<T>>
+void sort_inplace(std::span<T> data, const Cmp& cmp = Cmp{}) {
+  if (data.size() <= internal::kSortBase) {
+    std::stable_sort(data.begin(), data.end(), cmp);
+    return;
+  }
+  std::vector<T> buffer(data.size());
+  internal::merge_sort_recurse(data.data(), data.data() + data.size(),
+                               buffer.data(), /*to_buf=*/false, cmp);
+}
+
+template <typename T, typename Cmp = std::less<T>>
+std::vector<T> sorted(std::span<const T> data, const Cmp& cmp = Cmp{}) {
+  std::vector<T> out(data.begin(), data.end());
+  sort_inplace(std::span<T>(out), cmp);
+  return out;
+}
+
+// Stable LSD radix sort by key(x) in [0, 2^key_bits). 8 bits per pass,
+// per-block counting for parallelism.
+template <typename T, typename KeyFn>
+void integer_sort_inplace(std::span<T> data, const KeyFn& key, int key_bits) {
+  std::size_t n = data.size();
+  if (n <= 1) return;
+  constexpr int kBitsPerPass = 8;
+  constexpr std::size_t kBuckets = 1 << kBitsPerPass;
+  std::size_t block = std::max<std::size_t>(kScanBlockSize, n / (8 * static_cast<std::size_t>(num_workers()) + 1));
+  std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<T> buffer(n);
+  T* src = data.data();
+  T* dst = buffer.data();
+  int passes = (key_bits + kBitsPerPass - 1) / kBitsPerPass;
+  std::vector<std::size_t> counts(num_blocks * kBuckets);
+  for (int pass = 0; pass < passes; ++pass) {
+    int shift = pass * kBitsPerPass;
+    blocked_for(0, n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+      std::size_t* c = &counts[b * kBuckets];
+      std::fill(c, c + kBuckets, 0);
+      for (std::size_t i = lo; i < hi; ++i) {
+        ++c[(static_cast<std::uint64_t>(key(src[i])) >> shift) & (kBuckets - 1)];
+      }
+    });
+    // Column-major exclusive scan: bucket-major then block-major gives a
+    // stable global order.
+    std::size_t total = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        std::size_t c = counts[b * kBuckets + bucket];
+        counts[b * kBuckets + bucket] = total;
+        total += c;
+      }
+    }
+    blocked_for(0, n, block, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+      std::size_t* offsets = &counts[b * kBuckets];
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::size_t bucket =
+            (static_cast<std::uint64_t>(key(src[i])) >> shift) & (kBuckets - 1);
+        dst[offsets[bucket]++] = src[i];
+      }
+    });
+    std::swap(src, dst);
+  }
+  if (src != data.data()) {
+    parallel_for(0, n, [&](std::size_t i) { data[i] = src[i]; });
+  }
+}
+
+}  // namespace pasgal

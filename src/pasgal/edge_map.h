@@ -1,0 +1,101 @@
+// edge_map with direction optimization (Beamer et al., SC'12), as used by the
+// GBBS/GAPBS-style baselines and by PASGAL's dense phases.
+//
+//   update(u, v)       — try to activate v from u (must be atomic; returns
+//                        true iff this call activated v)
+//   update_seq(u, v)   — same but called without concurrency on v (dense
+//                        backward mode scans v's in-edges from one task)
+//   cond(v)            — is v still eligible for activation
+//
+// Sparse ("push") mode maps over the frontier's out-edges and collects newly
+// activated vertices. Dense ("pull") mode iterates all eligible vertices and
+// scans their in-neighbours, breaking early on activation. The mode is chosen
+// by the frontier's size + out-degree sum against m / kDenseThresholdDen.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "parlay/primitives.h"
+#include "pasgal/stats.h"
+#include "pasgal/vertex_subset.h"
+
+namespace pasgal {
+
+struct EdgeMapOptions {
+  bool allow_dense = true;
+  // Dense when (|F| + outdeg(F)) > m / den  (GAPBS uses m/20).
+  EdgeId dense_threshold_den = 20;
+};
+
+// `g` supplies out-edges (push); `gt` supplies in-edges for the pull
+// direction (pass g itself for symmetric graphs).
+template <typename Update, typename UpdateSeq, typename Cond>
+VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
+                      Update update, UpdateSeq update_seq, Cond cond,
+                      const EdgeMapOptions& opt = {}, RunStats* stats = nullptr) {
+  std::size_t n = g.num_vertices();
+  EdgeId frontier_work = frontier.out_degree_sum(g) + frontier.size();
+  bool go_dense = opt.allow_dense &&
+                  frontier_work > g.num_edges() / opt.dense_threshold_den;
+
+  if (go_dense) {
+    frontier.to_dense();
+    const auto& in_frontier = frontier.dense_mask();
+    std::vector<std::uint8_t> next(n, 0);
+    parallel_for(0, n, [&](std::size_t vi) {
+      VertexId v = static_cast<VertexId>(vi);
+      if (!cond(v)) return;
+      std::uint64_t scanned = 0;
+      for (VertexId u : gt.neighbors(v)) {
+        ++scanned;
+        if (in_frontier[u] && update_seq(u, v)) {
+          next[vi] = 1;
+          break;  // activated; stop scanning in-edges
+        }
+        if (!cond(v)) break;
+      }
+      if (stats) stats->add_edges(scanned);
+    });
+    if (stats) stats->add_visits(n);
+    return VertexSubset::dense(std::move(next));
+  }
+
+  frontier.to_sparse();
+  const auto& verts = frontier.sparse_vertices();
+  // Two-phase pack: count activations per frontier vertex, then fill.
+  std::size_t k = verts.size();
+  std::vector<EdgeId> offsets(k + 1);
+  offsets[k] = scan_indexed<EdgeId>(
+      k, [&](std::size_t i) { return g.out_degree(verts[i]); },
+      [&](std::size_t i, EdgeId v) { offsets[i] = v; });
+  std::vector<VertexId> out(offsets[k], kInvalidVertex);
+  parallel_for(0, k, [&](std::size_t i) {
+    VertexId u = verts[i];
+    EdgeId base = offsets[i];
+    std::uint64_t scanned = 0;
+    EdgeId slot = 0;
+    for (VertexId v : g.neighbors(u)) {
+      ++scanned;
+      if (cond(v) && update(u, v)) out[base + slot++] = v;
+    }
+    if (stats) {
+      stats->add_edges(scanned);
+      stats->add_visits(1);
+    }
+  });
+  auto next = filter(std::span<const VertexId>(out),
+                     [](VertexId v) { return v != kInvalidVertex; });
+  return VertexSubset::sparse(n, std::move(next));
+}
+
+// Convenience overload when the same update works in both modes.
+template <typename Update, typename Cond>
+VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
+                      Update update, Cond cond, const EdgeMapOptions& opt = {},
+                      RunStats* stats = nullptr) {
+  return edge_map(g, gt, frontier, update, update, cond, opt, stats);
+}
+
+}  // namespace pasgal

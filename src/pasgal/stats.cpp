@@ -1,0 +1,62 @@
+#include "pasgal/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pasgal {
+
+RunStats::RunStats() : counters_(static_cast<std::size_t>(num_workers())) {}
+
+void RunStats::reset() {
+  std::fill(counters_.begin(), counters_.end(), Counters{});
+  frontier_sizes_.clear();
+}
+
+void RunStats::end_round(std::uint64_t frontier_size) {
+  frontier_sizes_.push_back(frontier_size);
+}
+
+std::uint64_t RunStats::edges_scanned() const {
+  std::uint64_t total = 0;
+  for (const Counters& c : counters_) total += c.edges;
+  return total;
+}
+
+std::uint64_t RunStats::vertices_visited() const {
+  std::uint64_t total = 0;
+  for (const Counters& c : counters_) total += c.visits;
+  return total;
+}
+
+std::uint64_t RunStats::max_frontier() const {
+  std::uint64_t best = 0;
+  for (std::uint64_t f : frontier_sizes_) best = std::max(best, f);
+  return best;
+}
+
+double CostModel::projected_time_ns(std::uint64_t work, std::uint64_t rounds,
+                                    double avg_parallelism, int P) const {
+  double usable = std::min<double>(P, std::max(1.0, avg_parallelism));
+  double compute = static_cast<double>(work) * c_work * (1.0 - seq_fraction) / usable;
+  double sequential = static_cast<double>(work) * c_work * seq_fraction;
+  double sync = P <= 1 ? 0.0
+                       : static_cast<double>(rounds) * c_sync *
+                             (1.0 + std::log2(static_cast<double>(P)));
+  return compute + sequential + sync;
+}
+
+double CostModel::projected_speedup(std::uint64_t work, std::uint64_t rounds,
+                                    double avg_parallelism, int P,
+                                    double seq_time_ns) const {
+  return seq_time_ns / projected_time_ns(work, rounds, avg_parallelism, P);
+}
+
+CostModel calibrate(double measured_seq_ns, std::uint64_t seq_work) {
+  CostModel model;
+  if (seq_work > 0) {
+    model.c_work = measured_seq_ns / static_cast<double>(seq_work);
+  }
+  return model;
+}
+
+}  // namespace pasgal

@@ -1,0 +1,76 @@
+// Per-run instrumentation: rounds (global synchronizations), edges scanned,
+// vertices visited, frontier sizes — the quantities the paper's argument is
+// about. Counters are per-worker and cache-line padded so instrumentation
+// does not serialize the algorithms.
+//
+// Also provides the calibrated cost model used by the benchmark harness to
+// project speedup-vs-cores curves on hardware with fewer cores than the
+// paper's 96-core testbed (see DESIGN.md §2 and §4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parlay/scheduler.h"
+
+namespace pasgal {
+
+class RunStats {
+ public:
+  RunStats();
+
+  void reset();
+
+  // Hot-path counters (callable from any worker).
+  void add_edges(std::uint64_t k) { slot().edges += k; }
+  void add_visits(std::uint64_t k) { slot().visits += k; }
+
+  // Called once per frontier round by the round master.
+  void end_round(std::uint64_t frontier_size);
+
+  std::uint64_t edges_scanned() const;
+  std::uint64_t vertices_visited() const;
+  std::uint64_t rounds() const { return static_cast<std::uint64_t>(frontier_sizes_.size()); }
+  const std::vector<std::uint64_t>& frontier_sizes() const { return frontier_sizes_; }
+
+  std::uint64_t max_frontier() const;
+
+ private:
+  struct alignas(64) Counters {
+    std::uint64_t edges = 0;
+    std::uint64_t visits = 0;
+  };
+  Counters& slot() { return counters_[static_cast<std::size_t>(worker_id())]; }
+
+  std::vector<Counters> counters_;
+  std::vector<std::uint64_t> frontier_sizes_;
+};
+
+// Cost model for projecting runtimes to P processors (DESIGN.md §4):
+//
+//   T_P = W * c_work / min(P, parallelism) + R * c_sync(P) + seq * c_work
+//
+// where W = edges scanned + vertices visited, R = rounds, and `parallelism`
+// limits useful cores by the average frontier size (a round with 3 frontier
+// vertices cannot use 96 cores). c_sync grows logarithmically with P,
+// modelling tree-based fork/join distribution cost.
+struct CostModel {
+  double c_work = 1.0;       // ns per edge operation (calibrated)
+  double c_sync = 4000.0;    // ns per global synchronization at P=2
+  double seq_fraction = 0.0; // fraction of W that is inherently sequential
+
+  double projected_time_ns(std::uint64_t work, std::uint64_t rounds,
+                           double avg_parallelism, int P) const;
+
+  // Speedup of (work, rounds) at P cores over a given sequential time.
+  double projected_speedup(std::uint64_t work, std::uint64_t rounds,
+                           double avg_parallelism, int P,
+                           double seq_time_ns) const;
+};
+
+// Calibrates c_work from a measured single-thread run.
+CostModel calibrate(double measured_seq_ns, std::uint64_t seq_work);
+
+}  // namespace pasgal

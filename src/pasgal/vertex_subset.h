@@ -1,0 +1,97 @@
+// VertexSubset: a frontier in either sparse (vertex list) or dense
+// (byte mask) representation, mirroring the Ligra/GBBS abstraction the
+// baselines in the paper are built on.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "parlay/primitives.h"
+
+namespace pasgal {
+
+class VertexSubset {
+ public:
+  static VertexSubset sparse(std::size_t n, std::vector<VertexId> vertices) {
+    VertexSubset s;
+    s.n_ = n;
+    s.sparse_ = std::move(vertices);
+    s.is_dense_ = false;
+    return s;
+  }
+
+  static VertexSubset dense(std::vector<std::uint8_t> mask) {
+    VertexSubset s;
+    s.n_ = mask.size();
+    s.dense_ = std::move(mask);
+    s.is_dense_ = true;
+    s.dense_count_ = count_if_index(
+        s.n_, [&](std::size_t i) { return s.dense_[i] != 0; });
+    return s;
+  }
+
+  static VertexSubset single(std::size_t n, VertexId v) {
+    return sparse(n, {v});
+  }
+
+  static VertexSubset empty(std::size_t n) { return sparse(n, {}); }
+
+  std::size_t universe_size() const { return n_; }
+  bool is_dense() const { return is_dense_; }
+  std::size_t size() const { return is_dense_ ? dense_count_ : sparse_.size(); }
+  bool empty() const { return size() == 0; }
+
+  const std::vector<VertexId>& sparse_vertices() const { return sparse_; }
+  const std::vector<std::uint8_t>& dense_mask() const { return dense_; }
+
+  bool contains(VertexId v) const {
+    if (is_dense_) return dense_[v] != 0;
+    for (VertexId u : sparse_) {
+      if (u == v) return true;
+    }
+    return false;
+  }
+
+  // Conversions (parallel).
+  void to_dense() {
+    if (is_dense_) return;
+    dense_.assign(n_, 0);
+    parallel_for(0, sparse_.size(), [&](std::size_t i) { dense_[sparse_[i]] = 1; });
+    dense_count_ = sparse_.size();
+    sparse_.clear();
+    is_dense_ = true;
+  }
+
+  void to_sparse() {
+    if (!is_dense_) return;
+    sparse_ = pack_indexed<VertexId>(
+        n_, [&](std::size_t i) { return dense_[i] != 0; },
+        [&](std::size_t i) { return static_cast<VertexId>(i); });
+    dense_.clear();
+    is_dense_ = false;
+  }
+
+  // Total out-degree of the member vertices — the classic density signal.
+  EdgeId out_degree_sum(const Graph& g) const {
+    if (is_dense_) {
+      return reduce_indexed<EdgeId>(
+          n_, 0, std::plus<EdgeId>{}, [&](std::size_t v) {
+            return dense_[v] ? g.out_degree(static_cast<VertexId>(v)) : 0;
+          });
+    }
+    return reduce_indexed<EdgeId>(
+        sparse_.size(), 0, std::plus<EdgeId>{},
+        [&](std::size_t i) { return g.out_degree(sparse_[i]); });
+  }
+
+ private:
+  std::size_t n_ = 0;
+  bool is_dense_ = false;
+  std::vector<VertexId> sparse_;
+  std::vector<std::uint8_t> dense_;
+  std::size_t dense_count_ = 0;
+};
+
+}  // namespace pasgal

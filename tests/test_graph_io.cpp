@@ -1,0 +1,143 @@
+// Round-trip tests for the .adj (PBBS) and .bin (GBBS) graph formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graphs/graph.h"
+#include "graphs/graph_io.h"
+#include "parlay/hash_rng.h"
+
+namespace pasgal {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    auto dir = std::filesystem::temp_directory_path() / "pasgal_io_test";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(std::filesystem::temp_directory_path() /
+                                "pasgal_io_test");
+  }
+};
+
+Graph random_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  std::vector<Edge> edges(m);
+  Random rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    edges[i] = Edge{static_cast<VertexId>(rng.ith_rand(2 * i) % n),
+                    static_cast<VertexId>(rng.ith_rand(2 * i + 1) % n)};
+  }
+  return Graph::from_edges(n, edges);
+}
+
+TEST_F(GraphIoTest, AdjRoundTrip) {
+  Graph g = random_graph(200, 1500, 1);
+  auto path = temp_path("g.adj");
+  write_adj(g, path);
+  EXPECT_EQ(read_adj(path), g);
+}
+
+TEST_F(GraphIoTest, AdjEmptyGraph) {
+  Graph g = Graph::from_edges(0, {});
+  auto path = temp_path("empty.adj");
+  write_adj(g, path);
+  Graph back = read_adj(path);
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST_F(GraphIoTest, AdjIsolatedVertices) {
+  Graph g = Graph::from_edges(10, std::vector<Edge>{{3, 7}});
+  auto path = temp_path("iso.adj");
+  write_adj(g, path);
+  EXPECT_EQ(read_adj(path), g);
+}
+
+TEST_F(GraphIoTest, BinRoundTrip) {
+  Graph g = random_graph(500, 4000, 2);
+  auto path = temp_path("g.bin");
+  write_bin(g, path);
+  EXPECT_EQ(read_bin(path), g);
+}
+
+TEST_F(GraphIoTest, BinHeaderContents) {
+  Graph g = random_graph(100, 700, 3);
+  auto path = temp_path("hdr.bin");
+  write_bin(g, path);
+  std::ifstream in(path, std::ios::binary);
+  std::uint64_t n = 0, m = 0, bytes = 0;
+  in.read(reinterpret_cast<char*>(&n), 8);
+  in.read(reinterpret_cast<char*>(&m), 8);
+  in.read(reinterpret_cast<char*>(&bytes), 8);
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(m, 700u);
+  EXPECT_EQ(bytes, 24 + 101 * 8 + 700 * 4);
+  EXPECT_EQ(std::filesystem::file_size(path), bytes);
+}
+
+TEST_F(GraphIoTest, WeightedAdjRoundTrip) {
+  std::vector<WeightedEdge<std::uint32_t>> edges;
+  Random rng(4);
+  for (std::size_t i = 0; i < 900; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.ith_rand(3 * i) % 80),
+                     static_cast<VertexId>(rng.ith_rand(3 * i + 1) % 80),
+                     static_cast<std::uint32_t>(rng.ith_rand(3 * i + 2) % 100 + 1)});
+  }
+  auto g = WeightedGraph<std::uint32_t>::from_edges(80, edges);
+  auto path = temp_path("g.wadj");
+  write_adj(g, path);
+  auto back = read_weighted_adj(path);
+  EXPECT_EQ(back.unweighted(), g.unweighted());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.edge_weight(e), g.edge_weight(e));
+  }
+}
+
+TEST_F(GraphIoTest, WeightedBinRoundTrip) {
+  std::vector<WeightedEdge<std::uint32_t>> edges;
+  Random rng(8);
+  for (std::size_t i = 0; i < 1200; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.ith_rand(3 * i) % 90),
+                     static_cast<VertexId>(rng.ith_rand(3 * i + 1) % 90),
+                     static_cast<std::uint32_t>(rng.ith_rand(3 * i + 2))});
+  }
+  auto g = WeightedGraph<std::uint32_t>::from_edges(90, edges);
+  auto path = temp_path("g.wbin");
+  write_bin(g, path);
+  auto back = read_weighted_bin(path);
+  EXPECT_EQ(back.unweighted(), g.unweighted());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.edge_weight(e), g.edge_weight(e));
+  }
+}
+
+TEST_F(GraphIoTest, WeightedBinRejectsTruncated) {
+  auto path = temp_path("trunc.wbin");
+  std::ofstream(path, std::ios::binary) << "short";
+  EXPECT_THROW(read_weighted_bin(path), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, RejectsWrongHeader) {
+  auto path = temp_path("bogus.adj");
+  std::ofstream(path) << "NotAGraph\n3\n0\n";
+  EXPECT_THROW(read_adj(path), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, RejectsMissingFile) {
+  EXPECT_THROW(read_adj(temp_path("does_not_exist.adj")), std::runtime_error);
+  EXPECT_THROW(read_bin(temp_path("does_not_exist.bin")), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, RejectsTruncatedAdj) {
+  auto path = temp_path("trunc.adj");
+  std::ofstream(path) << "AdjacencyGraph\n5\n10\n0\n1\n";  // missing data
+  EXPECT_THROW(read_adj(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pasgal

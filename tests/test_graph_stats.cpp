@@ -1,0 +1,61 @@
+// Tests for the graph statistics utilities.
+#include <gtest/gtest.h>
+
+#include "graphs/generators.h"
+#include "graphs/graph_stats.h"
+
+namespace pasgal {
+namespace {
+
+TEST(GraphStats, DegreeStatsBasics) {
+  Graph g = gen::star(10);  // center degree 9, leaves degree 1
+  auto s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 18.0 / 10.0);
+  EXPECT_EQ(s.isolated, 0u);
+}
+
+TEST(GraphStats, IsolatedCounted) {
+  Graph g = Graph::from_edges(5, std::vector<Edge>{{0, 1}});
+  auto s = degree_stats(g);
+  EXPECT_EQ(s.isolated, 4u);  // 1,2,3,4 have out-degree 0
+}
+
+TEST(GraphStats, EmptyGraph) {
+  auto s = degree_stats(Graph::from_edges(0, {}));
+  EXPECT_EQ(s.max_degree, 0u);
+  EXPECT_EQ(s.isolated, 0u);
+}
+
+TEST(GraphStats, DegreeHistogramSumsToN) {
+  Graph g = gen::rmat(11, 20000, 3);
+  auto h = degree_histogram(g, 32);
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+  // Power-law: overflow bucket non-empty, degree-0/1 buckets dominate.
+  EXPECT_GT(h[32], 0u);
+}
+
+TEST(GraphStats, DiameterLowerBoundExactOnChain) {
+  Graph g = gen::chain(400);
+  // Double sweep finds the true diameter of a path.
+  EXPECT_EQ(diameter_lower_bound(g, g), 399u);
+}
+
+TEST(GraphStats, DiameterLowerBoundIsLowerBound) {
+  Graph g = gen::rectangle_grid(12, 30);  // true diameter 40
+  auto lb = diameter_lower_bound(g, g);
+  EXPECT_LE(lb, 40u);
+  EXPECT_GE(lb, 30u);  // sweeps get close on grids
+}
+
+TEST(GraphStats, DegeneracyKnownValues) {
+  EXPECT_EQ(degeneracy(gen::chain(50)), 1u);
+  EXPECT_EQ(degeneracy(gen::cycle(30).symmetrize()), 2u);
+  EXPECT_EQ(degeneracy(gen::complete(10).symmetrize()), 9u);
+  EXPECT_EQ(degeneracy(gen::binary_tree(255)), 1u);
+}
+
+}  // namespace
+}  // namespace pasgal

@@ -1,0 +1,132 @@
+// Tests for the concurrent hash bag (the paper's frontier structure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "parlay/parallel.h"
+#include "pasgal/hashbag.h"
+
+namespace pasgal {
+namespace {
+
+class HashBagTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { Scheduler::reset(GetParam()); }
+  void TearDown() override { Scheduler::reset(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, HashBagTest, ::testing::Values(1, 4));
+
+TEST_P(HashBagTest, EmptyBag) {
+  HashBag<std::uint32_t> bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.size(), 0u);
+  EXPECT_TRUE(bag.extract_all().empty());
+}
+
+TEST_P(HashBagTest, SingleInsert) {
+  HashBag<std::uint32_t> bag;
+  bag.insert(42);
+  EXPECT_EQ(bag.size(), 1u);
+  auto out = bag.extract_all();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST_P(HashBagTest, SequentialInsertExtract) {
+  HashBag<std::uint32_t> bag;
+  for (std::uint32_t i = 0; i < 1000; ++i) bag.insert(i);
+  auto out = bag.extract_all();
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST_P(HashBagTest, ParallelInsertNoLoss) {
+  HashBag<std::uint32_t> bag;
+  const std::size_t n = 200000;
+  parallel_for(0, n, [&](std::size_t i) {
+    bag.insert(static_cast<std::uint32_t>(i));
+  });
+  auto out = bag.extract_all();
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i) << i;
+}
+
+TEST_P(HashBagTest, MultisetKeepsDuplicates) {
+  HashBag<std::uint32_t> bag;
+  parallel_for(0, 5000, [&](std::size_t i) {
+    bag.insert(static_cast<std::uint32_t>(i % 10));
+  });
+  auto out = bag.extract_all();
+  EXPECT_EQ(out.size(), 5000u);
+  std::vector<int> counts(10, 0);
+  for (auto v : out) counts[v]++;
+  for (int c : counts) EXPECT_EQ(c, 500);
+}
+
+TEST_P(HashBagTest, GrowthBeyondFirstBlock) {
+  // First block holds 2^6 = 64 slots; inserting far more forces growth
+  // through several blocks.
+  HashBag<std::uint32_t> bag(/*first_block_log2=*/6);
+  const std::size_t n = 50000;
+  parallel_for(0, n, [&](std::size_t i) {
+    bag.insert(static_cast<std::uint32_t>(i));
+  });
+  auto out = bag.extract_all();
+  EXPECT_EQ(out.size(), n);
+}
+
+TEST_P(HashBagTest, ReuseAfterExtract) {
+  HashBag<std::uint32_t> bag(6);
+  for (int round = 0; round < 10; ++round) {
+    std::size_t count = 100 + static_cast<std::size_t>(round) * 500;
+    parallel_for(0, count, [&](std::size_t i) {
+      bag.insert(static_cast<std::uint32_t>(i));
+    });
+    auto out = bag.extract_all();
+    EXPECT_EQ(out.size(), count) << "round " << round;
+    EXPECT_TRUE(bag.empty());
+  }
+}
+
+TEST_P(HashBagTest, ClearResets) {
+  HashBag<std::uint32_t> bag(6);
+  parallel_for(0, 10000, [&](std::size_t i) {
+    bag.insert(static_cast<std::uint32_t>(i));
+  });
+  bag.clear();
+  EXPECT_TRUE(bag.empty());
+  bag.insert(7);
+  auto out = bag.extract_all();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST_P(HashBagTest, SixtyFourBitElements) {
+  HashBag<std::uint64_t> bag;
+  const std::size_t n = 50000;
+  parallel_for(0, n, [&](std::size_t i) {
+    bag.insert((static_cast<std::uint64_t>(i) << 32) | (i & 0xffff));
+  });
+  auto out = bag.extract_all();
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], (static_cast<std::uint64_t>(i) << 32) | (i & 0xffff));
+  }
+}
+
+TEST_P(HashBagTest, InterleavedInsertSizeCalls) {
+  HashBag<std::uint32_t> bag;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    bag.insert(i);
+    EXPECT_EQ(bag.size(), i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace pasgal

@@ -1,0 +1,167 @@
+// Tests for parallel sequence primitives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "parlay/hash_rng.h"
+#include "parlay/primitives.h"
+
+namespace pasgal {
+namespace {
+
+class PrimitivesTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { Scheduler::reset(GetParam()); }
+  void TearDown() override { Scheduler::reset(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, PrimitivesTest, ::testing::Values(1, 4));
+
+TEST_P(PrimitivesTest, TabulateIdentity) {
+  auto v = tabulate(1000, [](std::size_t i) { return 3 * i; });
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], 3 * i);
+}
+
+TEST_P(PrimitivesTest, IotaAndMap) {
+  auto v = iota<int>(5000);
+  auto doubled = map(std::span<const int>(v), [](int x) { return 2 * x; });
+  for (std::size_t i = 0; i < doubled.size(); ++i) {
+    EXPECT_EQ(doubled[i], 2 * static_cast<int>(i));
+  }
+}
+
+TEST_P(PrimitivesTest, ReduceAddMatchesAccumulate) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{100},
+                        std::size_t{2048}, std::size_t{100000}}) {
+    auto v = tabulate(n, [](std::size_t i) { return static_cast<std::int64_t>(i * i % 97); });
+    std::int64_t expected = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+    EXPECT_EQ(reduce_add(std::span<const std::int64_t>(v)), expected) << "n=" << n;
+  }
+}
+
+TEST_P(PrimitivesTest, ReduceMinMax) {
+  auto v = tabulate(50000, [](std::size_t i) {
+    return static_cast<int>(hash64(i) % 1000003);
+  });
+  std::span<const int> s(v);
+  EXPECT_EQ(reduce_max(s, -1), *std::max_element(v.begin(), v.end()));
+  EXPECT_EQ(reduce_min(s, 1 << 30), *std::min_element(v.begin(), v.end()));
+}
+
+TEST_P(PrimitivesTest, CountIf) {
+  auto v = iota<int>(100001);
+  std::size_t evens =
+      count_if_index(v.size(), [&](std::size_t i) { return v[i] % 2 == 0; });
+  EXPECT_EQ(evens, 50001u);
+}
+
+TEST_P(PrimitivesTest, ScanExclusivePrefix) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{2048}, std::size_t{2049}, std::size_t{65536}}) {
+    auto v = tabulate(n, [](std::size_t i) {
+      return static_cast<std::uint64_t>(hash64(i) % 10);
+    });
+    auto [prefix, total] = scan(std::span<const std::uint64_t>(v));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(prefix[i], running) << "n=" << n << " i=" << i;
+      running += v[i];
+    }
+    EXPECT_EQ(total, running);
+  }
+}
+
+TEST_P(PrimitivesTest, ScanInplaceMatchesScan) {
+  auto v = tabulate(12345, [](std::size_t i) { return static_cast<long>(i % 7); });
+  auto copy = v;
+  auto [expected, total_expected] = scan(std::span<const long>(v));
+  long total = scan_inplace(std::span<long>(copy));
+  EXPECT_EQ(copy, expected);
+  EXPECT_EQ(total, total_expected);
+}
+
+TEST_P(PrimitivesTest, FilterKeepsOrderAndContent) {
+  auto v = tabulate(100000, [](std::size_t i) {
+    return static_cast<int>(hash64(i) % 1000);
+  });
+  auto kept = filter(std::span<const int>(v), [](int x) { return x < 250; });
+  std::vector<int> expected;
+  for (int x : v) {
+    if (x < 250) expected.push_back(x);
+  }
+  EXPECT_EQ(kept, expected);
+}
+
+TEST_P(PrimitivesTest, PackIndex) {
+  auto idx = pack_index(1000, [](std::size_t i) { return i % 3 == 0; });
+  ASSERT_EQ(idx.size(), 334u);
+  for (std::size_t k = 0; k < idx.size(); ++k) EXPECT_EQ(idx[k], 3 * k);
+}
+
+TEST_P(PrimitivesTest, FlattenPreservesOrder) {
+  std::vector<std::vector<int>> nested(100);
+  std::vector<int> expected;
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    for (std::size_t j = 0; j < i % 7; ++j) {
+      nested[i].push_back(static_cast<int>(i * 100 + j));
+      expected.push_back(static_cast<int>(i * 100 + j));
+    }
+  }
+  EXPECT_EQ(flatten(nested), expected);
+}
+
+TEST_P(PrimitivesTest, HistogramCounts) {
+  auto keys = tabulate(100000, [](std::size_t i) {
+    return static_cast<std::uint32_t>(hash64(i) % 64);
+  });
+  auto counts = histogram(std::span<const std::uint32_t>(keys), 64);
+  std::vector<std::size_t> expected(64, 0);
+  for (auto k : keys) expected[k]++;
+  EXPECT_EQ(counts, expected);
+}
+
+TEST_P(PrimitivesTest, WriteMinConcurrent) {
+  std::atomic<std::uint64_t> target{~0ULL};
+  parallel_for(0, 100000, [&](std::size_t i) {
+    write_min(target, hash64(i) % 1000000);
+  });
+  std::uint64_t expected = ~0ULL;
+  for (std::size_t i = 0; i < 100000; ++i) {
+    expected = std::min(expected, hash64(i) % 1000000);
+  }
+  EXPECT_EQ(target.load(), expected);
+}
+
+TEST_P(PrimitivesTest, WriteMaxConcurrent) {
+  std::atomic<std::int64_t> target{-1};
+  parallel_for(0, 50000, [&](std::size_t i) {
+    write_max(target, static_cast<std::int64_t>(hash64(i) % 999983));
+  });
+  std::int64_t expected = -1;
+  for (std::size_t i = 0; i < 50000; ++i) {
+    expected = std::max(expected, static_cast<std::int64_t>(hash64(i) % 999983));
+  }
+  EXPECT_EQ(target.load(), expected);
+}
+
+TEST(HashRng, DeterministicAndSpread) {
+  Random r(42);
+  EXPECT_EQ(r.ith_rand(7), Random(42).ith_rand(7));
+  EXPECT_NE(r.ith_rand(7), r.ith_rand(8));
+  // Rough uniformity: buckets of a thousand draws should all be populated.
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t i = 0; i < 1000; ++i) buckets[r.ith_rand(i) % 16]++;
+  for (int b : buckets) EXPECT_GT(b, 20);
+}
+
+TEST(HashRng, ForkIndependence) {
+  Random r(1);
+  Random f0 = r.fork(0);
+  Random f1 = r.fork(1);
+  EXPECT_NE(f0.ith_rand(0), f1.ith_rand(0));
+}
+
+}  // namespace
+}  // namespace pasgal

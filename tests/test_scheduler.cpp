@@ -1,0 +1,160 @@
+// Tests for the work-stealing fork-join scheduler and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/scheduler.h"
+
+namespace pasgal {
+namespace {
+
+class SchedulerMultiThread : public ::testing::Test {
+ protected:
+  void SetUp() override { Scheduler::reset(4); }
+  void TearDown() override { Scheduler::reset(1); }
+};
+
+TEST(Scheduler, SingleWorkerParDoRunsBoth) {
+  Scheduler::reset(1);
+  int a = 0, b = 0;
+  par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, SingleWorkerParallelForCoversRange) {
+  Scheduler::reset(1);
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(SchedulerMultiThread, ParDoRunsBoth) {
+  std::atomic<int> sum{0};
+  par_do([&] { sum += 1; }, [&] { sum += 2; });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST_F(SchedulerMultiThread, NestedParDo) {
+  std::atomic<int> sum{0};
+  par_do(
+      [&] {
+        par_do([&] { sum += 1; }, [&] { sum += 2; });
+      },
+      [&] {
+        par_do([&] { sum += 4; }, [&] { sum += 8; });
+      });
+  EXPECT_EQ(sum.load(), 15);
+}
+
+TEST_F(SchedulerMultiThread, DeepNesting) {
+  // A full binary fork tree of depth 14 — 16384 leaves — exercises stealing
+  // and the deque under load.
+  std::atomic<std::int64_t> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    par_do([&] { recurse(depth - 1); }, [&] { recurse(depth - 1); });
+  };
+  recurse(14);
+  EXPECT_EQ(leaves.load(), 16384);
+}
+
+TEST_F(SchedulerMultiThread, ParallelForEachIndexOnce) {
+  std::vector<std::atomic<int>> hits(100000);
+  parallel_for(0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(SchedulerMultiThread, ParallelForEmptyAndSingle) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](std::size_t i) { count += static_cast<int>(i); });
+  EXPECT_EQ(count, 7);
+}
+
+TEST_F(SchedulerMultiThread, ParallelForSumMatches) {
+  const std::size_t n = 1 << 18;
+  std::vector<std::int64_t> data(n);
+  parallel_for(0, n, [&](std::size_t i) { data[i] = static_cast<std::int64_t>(i); });
+  std::int64_t expected = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  std::int64_t actual = std::accumulate(data.begin(), data.end(), std::int64_t{0});
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(SchedulerMultiThread, ExplicitGranularity) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(
+      0, hits.size(),
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); }, 7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(SchedulerMultiThread, BlockedForCoversAllBlocks) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  blocked_for(0, n, 997, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(SchedulerMultiThread, WorkerIdInRange) {
+  std::atomic<bool> ok{true};
+  parallel_for(0, 10000, [&](std::size_t) {
+    int id = worker_id();
+    if (id < 0 || id >= num_workers()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(num_workers(), 4);
+}
+
+TEST(SchedulerDeque, PushPopLifo) {
+  WorkStealingDeque deque;
+  struct Noop final : Job {
+    void execute() override { mark_done(); }
+  };
+  Noop a, b, c;
+  EXPECT_TRUE(deque.push_bottom(&a));
+  EXPECT_TRUE(deque.push_bottom(&b));
+  EXPECT_TRUE(deque.push_bottom(&c));
+  EXPECT_EQ(deque.pop_bottom(), &c);
+  EXPECT_EQ(deque.pop_bottom(), &b);
+  EXPECT_EQ(deque.pop_bottom(), &a);
+  EXPECT_EQ(deque.pop_bottom(), nullptr);
+}
+
+TEST(SchedulerDeque, StealFifo) {
+  WorkStealingDeque deque;
+  struct Noop final : Job {
+    void execute() override { mark_done(); }
+  };
+  Noop a, b;
+  EXPECT_TRUE(deque.push_bottom(&a));
+  EXPECT_TRUE(deque.push_bottom(&b));
+  EXPECT_EQ(deque.steal_top(), &a);
+  EXPECT_EQ(deque.pop_bottom(), &b);
+  EXPECT_EQ(deque.steal_top(), nullptr);
+}
+
+TEST(SchedulerDeque, FullDequeRejectsPush) {
+  WorkStealingDeque deque(/*capacity_log2=*/2);  // capacity 4
+  struct Noop final : Job {
+    void execute() override { mark_done(); }
+  };
+  Noop jobs[5];
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(deque.push_bottom(&jobs[i]));
+  EXPECT_FALSE(deque.push_bottom(&jobs[4]));
+}
+
+}  // namespace
+}  // namespace pasgal

@@ -1,0 +1,90 @@
+// Tests for random_permutation / remove_duplicates / group_by_key.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "parlay/sequence_extras.h"
+
+namespace pasgal {
+namespace {
+
+class SeqExtrasTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { Scheduler::reset(GetParam()); }
+  void TearDown() override { Scheduler::reset(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, SeqExtrasTest, ::testing::Values(1, 4));
+
+TEST_P(SeqExtrasTest, RandomPermutationIsPermutation) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{1000},
+                        std::size_t{50000}}) {
+    auto perm = random_permutation(n, 7);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<std::uint8_t> seen(n, 0);
+    for (auto v : perm) {
+      ASSERT_LT(v, n);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = 1;
+    }
+  }
+}
+
+TEST_P(SeqExtrasTest, RandomPermutationDeterministicAndSeedSensitive) {
+  EXPECT_EQ(random_permutation(1000, 5), random_permutation(1000, 5));
+  EXPECT_NE(random_permutation(1000, 5), random_permutation(1000, 6));
+}
+
+TEST_P(SeqExtrasTest, RandomPermutationActuallyShuffles) {
+  auto perm = random_permutation(10000, 3);
+  std::size_t fixed_points = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 50u);  // expectation is 1
+}
+
+TEST_P(SeqExtrasTest, RemoveDuplicates) {
+  auto v = tabulate(10000, [](std::size_t i) {
+    return static_cast<int>(hash64(i) % 100);
+  });
+  auto distinct = remove_duplicates(std::span<const int>(v));
+  std::set<int> expected(v.begin(), v.end());
+  EXPECT_EQ(distinct, std::vector<int>(expected.begin(), expected.end()));
+  EXPECT_EQ(count_distinct(std::span<const int>(v)), expected.size());
+}
+
+TEST_P(SeqExtrasTest, RemoveDuplicatesEdgeCases) {
+  EXPECT_TRUE(remove_duplicates(std::span<const int>()).empty());
+  std::vector<int> one = {42};
+  EXPECT_EQ(remove_duplicates(std::span<const int>(one)), one);
+  std::vector<int> same = {7, 7, 7, 7};
+  EXPECT_EQ(remove_duplicates(std::span<const int>(same)), std::vector<int>{7});
+}
+
+TEST_P(SeqExtrasTest, GroupByKeyMatchesMap) {
+  std::vector<std::pair<std::uint32_t, int>> in;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    in.push_back({static_cast<std::uint32_t>(hash64(i) % 37),
+                  static_cast<int>(i)});
+  }
+  auto groups = group_by_key(std::span<const std::pair<std::uint32_t, int>>(in));
+  std::map<std::uint32_t, std::vector<int>> expected;
+  for (auto& [k, v] : in) expected[k].push_back(v);
+  ASSERT_EQ(groups.size(), expected.size());
+  std::size_t gi = 0;
+  for (auto& [k, vals] : expected) {
+    EXPECT_EQ(groups[gi].first, k);
+    EXPECT_EQ(groups[gi].second, vals) << "key " << k;  // stable order
+    ++gi;
+  }
+}
+
+TEST_P(SeqExtrasTest, GroupByKeyEmpty) {
+  EXPECT_TRUE(
+      group_by_key(std::span<const std::pair<std::uint32_t, int>>()).empty());
+}
+
+}  // namespace
+}  // namespace pasgal

@@ -1,0 +1,132 @@
+// Tests for parallel comparison sort and integer (radix) sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parlay/hash_rng.h"
+#include "parlay/sort.h"
+
+namespace pasgal {
+namespace {
+
+class SortTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { Scheduler::reset(GetParam()); }
+  void TearDown() override { Scheduler::reset(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, SortTest, ::testing::Values(1, 4));
+
+TEST_P(SortTest, SortRandomInts) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{1000}, std::size_t{100000}}) {
+    auto v = tabulate(n, [](std::size_t i) {
+      return static_cast<std::uint64_t>(hash64(i));
+    });
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    sort_inplace(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v, expected) << "n=" << n;
+  }
+}
+
+TEST_P(SortTest, SortWithComparator) {
+  auto v = tabulate(50000, [](std::size_t i) {
+    return static_cast<int>(hash64(i) % 1000);
+  });
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<int>{});
+  sort_inplace(std::span<int>(v), std::greater<int>{});
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortTest, SortStability) {
+  struct Item {
+    int key;
+    int original_index;
+    bool operator==(const Item&) const = default;
+  };
+  auto v = tabulate(30000, [](std::size_t i) {
+    return Item{static_cast<int>(hash64(i) % 16), static_cast<int>(i)};
+  });
+  auto expected = v;
+  auto by_key = [](const Item& a, const Item& b) { return a.key < b.key; };
+  std::stable_sort(expected.begin(), expected.end(), by_key);
+  sort_inplace(std::span<Item>(v), by_key);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortTest, SortedCopyLeavesInputIntact) {
+  auto v = tabulate(1000, [](std::size_t i) {
+    return static_cast<int>(hash64(i) % 100);
+  });
+  auto original = v;
+  auto out = sorted(std::span<const int>(v));
+  EXPECT_EQ(v, original);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST_P(SortTest, IntegerSortFullRange) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{999},
+                        std::size_t{100000}}) {
+    auto v = tabulate(n, [](std::size_t i) {
+      return static_cast<std::uint32_t>(hash64(i));
+    });
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    integer_sort_inplace(std::span<std::uint32_t>(v),
+                         [](std::uint32_t x) { return x; }, 32);
+    EXPECT_EQ(v, expected) << "n=" << n;
+  }
+}
+
+TEST_P(SortTest, IntegerSortByKeyIsStable) {
+  struct Pair {
+    std::uint32_t key;
+    std::uint32_t payload;
+    bool operator==(const Pair&) const = default;
+  };
+  auto v = tabulate(80000, [](std::size_t i) {
+    return Pair{static_cast<std::uint32_t>(hash64(i) % 256),
+                static_cast<std::uint32_t>(i)};
+  });
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Pair& a, const Pair& b) { return a.key < b.key; });
+  integer_sort_inplace(std::span<Pair>(v), [](const Pair& p) { return p.key; }, 8);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortTest, IntegerSortNarrowKeyBits) {
+  auto v = tabulate(10000, [](std::size_t i) {
+    return static_cast<std::uint32_t>(hash64(i) % 4);
+  });
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  integer_sort_inplace(std::span<std::uint32_t>(v),
+                       [](std::uint32_t x) { return x; }, 2);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortTest, IntegerSort64BitKeys) {
+  auto v = tabulate(60000, [](std::size_t i) { return hash64(i); });
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  integer_sort_inplace(std::span<std::uint64_t>(v),
+                       [](std::uint64_t x) { return x; }, 64);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortTest, SortAlreadySortedAndReversed) {
+  auto v = iota<std::uint64_t>(50000);
+  auto expected = v;
+  sort_inplace(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expected);
+  std::reverse(v.begin(), v.end());
+  sort_inplace(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+}  // namespace
+}  // namespace pasgal

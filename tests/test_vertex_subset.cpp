@@ -1,0 +1,78 @@
+// Tests for the VertexSubset frontier representation.
+#include <gtest/gtest.h>
+
+#include "graphs/generators.h"
+#include "pasgal/vertex_subset.h"
+
+namespace pasgal {
+namespace {
+
+TEST(VertexSubset, EmptySubset) {
+  auto s = VertexSubset::empty(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.universe_size(), 10u);
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(VertexSubset, SingleVertex) {
+  auto s = VertexSubset::single(100, 42);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_FALSE(s.contains(41));
+}
+
+TEST(VertexSubset, SparseToDenseRoundTrip) {
+  auto s = VertexSubset::sparse(50, {3, 7, 11, 49});
+  EXPECT_FALSE(s.is_dense());
+  s.to_dense();
+  EXPECT_TRUE(s.is_dense());
+  EXPECT_EQ(s.size(), 4u);
+  for (VertexId v : {3, 7, 11, 49}) EXPECT_TRUE(s.contains(static_cast<VertexId>(v)));
+  EXPECT_FALSE(s.contains(4));
+  s.to_sparse();
+  EXPECT_FALSE(s.is_dense());
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{3, 7, 11, 49}));
+}
+
+TEST(VertexSubset, DenseConstruction) {
+  std::vector<std::uint8_t> mask(20, 0);
+  mask[2] = mask[4] = mask[19] = 1;
+  auto s = VertexSubset::dense(std::move(mask));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.is_dense());
+  s.to_sparse();
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{2, 4, 19}));
+}
+
+TEST(VertexSubset, ConversionIsIdempotent) {
+  auto s = VertexSubset::sparse(30, {1, 2});
+  s.to_sparse();  // no-op
+  EXPECT_EQ(s.size(), 2u);
+  s.to_dense();
+  s.to_dense();  // no-op
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(VertexSubset, OutDegreeSumMatchesBothRepresentations) {
+  Graph g = gen::rmat(10, 8000, 3);
+  auto verts = std::vector<VertexId>{0, 5, 100, 500, 1000};
+  EdgeId expected = 0;
+  for (VertexId v : verts) expected += g.out_degree(v);
+  auto sparse = VertexSubset::sparse(g.num_vertices(), verts);
+  EXPECT_EQ(sparse.out_degree_sum(g), expected);
+  sparse.to_dense();
+  EXPECT_EQ(sparse.out_degree_sum(g), expected);
+}
+
+TEST(VertexSubset, LargeSubsetCount) {
+  Scheduler::reset(4);
+  std::vector<std::uint8_t> mask(100000);
+  for (std::size_t i = 0; i < mask.size(); i += 3) mask[i] = 1;
+  auto s = VertexSubset::dense(std::move(mask));
+  EXPECT_EQ(s.size(), 33334u);
+  Scheduler::reset(1);
+}
+
+}  // namespace
+}  // namespace pasgal
