@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_bcc.dir/bcc.cpp.o"
+  "CMakeFiles/app_bcc.dir/bcc.cpp.o.d"
+  "bcc"
+  "bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_bcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

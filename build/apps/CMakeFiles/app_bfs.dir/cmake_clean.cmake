@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_bfs.dir/bfs.cpp.o"
+  "CMakeFiles/app_bfs.dir/bfs.cpp.o.d"
+  "bfs"
+  "bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_scc.dir/scc.cpp.o"
+  "CMakeFiles/app_scc.dir/scc.cpp.o.d"
+  "scc"
+  "scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dirop.dir/bench_ablation_dirop.cpp.o"
+  "CMakeFiles/bench_ablation_dirop.dir/bench_ablation_dirop.cpp.o.d"
+  "bench_ablation_dirop"
+  "bench_ablation_dirop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dirop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

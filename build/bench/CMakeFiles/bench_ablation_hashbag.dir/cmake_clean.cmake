@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hashbag.dir/bench_ablation_hashbag.cpp.o"
+  "CMakeFiles/bench_ablation_hashbag.dir/bench_ablation_hashbag.cpp.o.d"
+  "bench_ablation_hashbag"
+  "bench_ablation_hashbag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hashbag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

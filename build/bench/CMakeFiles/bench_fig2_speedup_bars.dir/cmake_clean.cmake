@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_speedup_bars.dir/bench_fig2_speedup_bars.cpp.o"
+  "CMakeFiles/bench_fig2_speedup_bars.dir/bench_fig2_speedup_bars.cpp.o.d"
+  "bench_fig2_speedup_bars"
+  "bench_fig2_speedup_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_speedup_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

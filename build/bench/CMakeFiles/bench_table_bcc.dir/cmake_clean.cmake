@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_bcc.dir/bench_table_bcc.cpp.o"
+  "CMakeFiles/bench_table_bcc.dir/bench_table_bcc.cpp.o.d"
+  "bench_table_bcc"
+  "bench_table_bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_bcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_graphs.dir/bench_table_graphs.cpp.o"
+  "CMakeFiles/bench_table_graphs.dir/bench_table_graphs.cpp.o.d"
+  "bench_table_graphs"
+  "bench_table_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_scc.dir/bench_table_scc.cpp.o"
+  "CMakeFiles/bench_table_scc.dir/bench_table_scc.cpp.o.d"
+  "bench_table_scc"
+  "bench_table_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_resolver.dir/dependency_resolver.cpp.o"
+  "CMakeFiles/dependency_resolver.dir/dependency_resolver.cpp.o.d"
+  "dependency_resolver"
+  "dependency_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

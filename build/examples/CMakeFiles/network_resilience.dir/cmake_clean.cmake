@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_resilience.dir/network_resilience.cpp.o"
+  "CMakeFiles/network_resilience.dir/network_resilience.cpp.o.d"
+  "network_resilience"
+  "network_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

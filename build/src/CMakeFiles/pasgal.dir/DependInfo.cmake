@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bcc/fast_bcc.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bcc/fast_bcc.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bcc/fast_bcc.cpp.o.d"
+  "/root/repo/src/algorithms/bcc/gbbs_bcc.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bcc/gbbs_bcc.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bcc/gbbs_bcc.cpp.o.d"
+  "/root/repo/src/algorithms/bcc/hopcroft_tarjan.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bcc/hopcroft_tarjan.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bcc/hopcroft_tarjan.cpp.o.d"
+  "/root/repo/src/algorithms/bcc/tarjan_vishkin.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bcc/tarjan_vishkin.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bcc/tarjan_vishkin.cpp.o.d"
+  "/root/repo/src/algorithms/bfs/gapbs_bfs.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bfs/gapbs_bfs.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bfs/gapbs_bfs.cpp.o.d"
+  "/root/repo/src/algorithms/bfs/gbbs_bfs.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bfs/gbbs_bfs.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bfs/gbbs_bfs.cpp.o.d"
+  "/root/repo/src/algorithms/bfs/pasgal_bfs.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bfs/pasgal_bfs.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bfs/pasgal_bfs.cpp.o.d"
+  "/root/repo/src/algorithms/bfs/seq_bfs.cpp" "src/CMakeFiles/pasgal.dir/algorithms/bfs/seq_bfs.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/bfs/seq_bfs.cpp.o.d"
+  "/root/repo/src/algorithms/cc/cc.cpp" "src/CMakeFiles/pasgal.dir/algorithms/cc/cc.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/cc/cc.cpp.o.d"
+  "/root/repo/src/algorithms/cc/ldd.cpp" "src/CMakeFiles/pasgal.dir/algorithms/cc/ldd.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/cc/ldd.cpp.o.d"
+  "/root/repo/src/algorithms/kcore/pasgal_kcore.cpp" "src/CMakeFiles/pasgal.dir/algorithms/kcore/pasgal_kcore.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/kcore/pasgal_kcore.cpp.o.d"
+  "/root/repo/src/algorithms/kcore/seq_kcore.cpp" "src/CMakeFiles/pasgal.dir/algorithms/kcore/seq_kcore.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/kcore/seq_kcore.cpp.o.d"
+  "/root/repo/src/algorithms/scc/condensation.cpp" "src/CMakeFiles/pasgal.dir/algorithms/scc/condensation.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/scc/condensation.cpp.o.d"
+  "/root/repo/src/algorithms/scc/multistep_scc.cpp" "src/CMakeFiles/pasgal.dir/algorithms/scc/multistep_scc.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/scc/multistep_scc.cpp.o.d"
+  "/root/repo/src/algorithms/scc/pasgal_scc.cpp" "src/CMakeFiles/pasgal.dir/algorithms/scc/pasgal_scc.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/scc/pasgal_scc.cpp.o.d"
+  "/root/repo/src/algorithms/scc/tarjan_scc.cpp" "src/CMakeFiles/pasgal.dir/algorithms/scc/tarjan_scc.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/scc/tarjan_scc.cpp.o.d"
+  "/root/repo/src/algorithms/sssp/bellman_ford.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/bellman_ford.cpp.o.d"
+  "/root/repo/src/algorithms/sssp/dijkstra.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/dijkstra.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/dijkstra.cpp.o.d"
+  "/root/repo/src/algorithms/sssp/ppsp.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/ppsp.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/ppsp.cpp.o.d"
+  "/root/repo/src/algorithms/sssp/stepping.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/stepping.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/stepping.cpp.o.d"
+  "/root/repo/src/algorithms/toposort/toposort.cpp" "src/CMakeFiles/pasgal.dir/algorithms/toposort/toposort.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/toposort/toposort.cpp.o.d"
+  "/root/repo/src/algorithms/tree/euler.cpp" "src/CMakeFiles/pasgal.dir/algorithms/tree/euler.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/tree/euler.cpp.o.d"
+  "/root/repo/src/graphs/graph_io.cpp" "src/CMakeFiles/pasgal.dir/graphs/graph_io.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/graph_io.cpp.o.d"
+  "/root/repo/src/graphs/graph_stats.cpp" "src/CMakeFiles/pasgal.dir/graphs/graph_stats.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/graph_stats.cpp.o.d"
+  "/root/repo/src/graphs/knn.cpp" "src/CMakeFiles/pasgal.dir/graphs/knn.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/knn.cpp.o.d"
+  "/root/repo/src/parlay/scheduler.cpp" "src/CMakeFiles/pasgal.dir/parlay/scheduler.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/parlay/scheduler.cpp.o.d"
+  "/root/repo/src/pasgal/stats.cpp" "src/CMakeFiles/pasgal.dir/pasgal/stats.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/pasgal/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcc.dir/test_bcc.cpp.o"
+  "CMakeFiles/test_bcc.dir/test_bcc.cpp.o.d"
+  "test_bcc"
+  "test_bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_map.dir/test_edge_map.cpp.o"
+  "CMakeFiles/test_edge_map.dir/test_edge_map.cpp.o.d"
+  "test_edge_map"
+  "test_edge_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

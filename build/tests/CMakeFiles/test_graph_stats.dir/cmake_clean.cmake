@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_stats.dir/test_graph_stats.cpp.o"
+  "CMakeFiles/test_graph_stats.dir/test_graph_stats.cpp.o.d"
+  "test_graph_stats"
+  "test_graph_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashbag.dir/test_hashbag.cpp.o"
+  "CMakeFiles/test_hashbag.dir/test_hashbag.cpp.o.d"
+  "test_hashbag"
+  "test_hashbag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashbag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

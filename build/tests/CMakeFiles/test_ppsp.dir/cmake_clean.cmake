@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppsp.dir/test_ppsp.cpp.o"
+  "CMakeFiles/test_ppsp.dir/test_ppsp.cpp.o.d"
+  "test_ppsp"
+  "test_ppsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_sweeps.dir/test_random_sweeps.cpp.o"
+  "CMakeFiles/test_random_sweeps.dir/test_random_sweeps.cpp.o.d"
+  "test_random_sweeps"
+  "test_random_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

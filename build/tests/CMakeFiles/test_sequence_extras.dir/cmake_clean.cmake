@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequence_extras.dir/test_sequence_extras.cpp.o"
+  "CMakeFiles/test_sequence_extras.dir/test_sequence_extras.cpp.o.d"
+  "test_sequence_extras"
+  "test_sequence_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequence_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toposort.dir/test_toposort.cpp.o"
+  "CMakeFiles/test_toposort.dir/test_toposort.cpp.o.d"
+  "test_toposort"
+  "test_toposort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toposort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

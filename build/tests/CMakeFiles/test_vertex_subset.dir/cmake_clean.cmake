@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertex_subset.dir/test_vertex_subset.cpp.o"
+  "CMakeFiles/test_vertex_subset.dir/test_vertex_subset.cpp.o.d"
+  "test_vertex_subset"
+  "test_vertex_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertex_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgc.dir/test_vgc.cpp.o"
+  "CMakeFiles/test_vgc.dir/test_vgc.cpp.o.d"
+  "test_vgc"
+  "test_vgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
