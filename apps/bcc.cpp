@@ -1,7 +1,9 @@
 // BCC driver (mirrors the upstream PASGAL per-algorithm executables).
 // The input graph is symmetrized automatically, as in the paper.
 //
-//   bcc <graph> [-a pasgal|gbbs|tv|seq] [-r repeats]
+//   bcc <graph> [-a pasgal|gbbs|tv|seq] [-r repeats] [--validate]
+//
+// Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include <chrono>
 
 #include "algorithms/bcc/bcc.h"
@@ -11,45 +13,57 @@ using namespace pasgal;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <graph> [-a pasgal|gbbs|tv|seq] [-r repeats]\n",
+    std::fprintf(stderr,
+                 "usage: %s <graph> [-a pasgal|gbbs|tv|seq] [-r repeats] "
+                 "[--validate]\n",
                  argv[0]);
     return 2;
   }
-  std::string algo = "pasgal";
-  int repeats = 3;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string flag = argv[i];
-    if (flag == "-a") algo = argv[i + 1];
-    if (flag == "-r") repeats = std::atoi(argv[i + 1]);
-  }
-
-  Graph g = apps::load_graph(argv[1]).symmetrize();
-  std::printf("graph (symmetrized): n=%zu m=%zu, algorithm=%s, workers=%d\n",
-              g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
-
-  for (int r = 0; r < repeats; ++r) {
-    RunStats stats;
-    BccResult result;
-    auto start = std::chrono::steady_clock::now();
-    if (algo == "pasgal") {
-      result = fast_bcc(g, &stats);
-    } else if (algo == "gbbs") {
-      result = gbbs_bcc(g, &stats);
-    } else if (algo == "tv") {
-      result = tarjan_vishkin_bcc(g, &stats);
-    } else {
-      result = hopcroft_tarjan_bcc(g, &stats);
+  return apps::run_app([&]() {
+    std::string algo = "pasgal";
+    int repeats = 3;
+    bool validate = false;
+    apps::FlagParser flags(argc, argv, 2);
+    while (flags.next()) {
+      if (flags.flag() == "--validate") validate = true;
+      else if (flags.flag() == "-a") algo = flags.value();
+      else if (flags.flag() == "-r") {
+        repeats = static_cast<int>(
+            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
+      } else flags.unknown();
     }
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    apps::print_stats(algo.c_str(), seconds, stats);
-    if (r == 0) {
-      std::printf("%zu biconnected components, %zu articulation points, "
-                  "%zu bridges\n",
-                  result.num_bccs, articulation_points(g, result).size(),
-                  count_bridges(g, result));
+    if (algo != "pasgal" && algo != "gbbs" && algo != "tv" && algo != "seq") {
+      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
     }
-  }
-  return 0;
+
+    Graph g = apps::load_graph(argv[1], validate).symmetrize();
+    std::printf("graph (symmetrized): n=%zu m=%zu, algorithm=%s, workers=%d\n",
+                g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
+
+    for (int r = 0; r < repeats; ++r) {
+      RunStats stats;
+      BccResult result;
+      auto start = std::chrono::steady_clock::now();
+      if (algo == "pasgal") {
+        result = fast_bcc(g, &stats);
+      } else if (algo == "gbbs") {
+        result = gbbs_bcc(g, &stats);
+      } else if (algo == "tv") {
+        result = tarjan_vishkin_bcc(g, &stats);
+      } else {
+        result = hopcroft_tarjan_bcc(g, &stats);
+      }
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      apps::print_stats(algo.c_str(), seconds, stats);
+      if (r == 0) {
+        std::printf("%zu biconnected components, %zu articulation points, "
+                    "%zu bridges\n",
+                    result.num_bccs, articulation_points(g, result).size(),
+                    count_bridges(g, result));
+      }
+    }
+    return 0;
+  });
 }

@@ -1,6 +1,9 @@
 // BFS driver (mirrors the upstream PASGAL per-algorithm executables).
 //
 //   bfs <graph> [-s source] [-a pasgal|gbbs|gapbs|seq] [-t tau] [-r rounds]
+//       [--validate]
+//
+// Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include <chrono>
 
 #include "algorithms/bfs/bfs.h"
@@ -12,58 +15,78 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <graph> [-s source] [-a pasgal|gbbs|gapbs|seq] "
-                 "[-t tau] [-r repeats]\n",
+                 "[-t tau] [-r repeats] [--validate]\n",
                  argv[0]);
     return 2;
   }
-  std::string algo = "pasgal";
-  VertexId source = 0;
-  std::uint32_t tau = 512;
-  int repeats = 3;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string flag = argv[i];
-    if (flag == "-s") source = static_cast<VertexId>(std::atoll(argv[i + 1]));
-    if (flag == "-a") algo = argv[i + 1];
-    if (flag == "-t") tau = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
-    if (flag == "-r") repeats = std::atoi(argv[i + 1]);
-  }
-
-  Graph g = apps::load_graph(argv[1]);
-  Graph gt = g.transpose();
-  std::printf("graph: n=%zu m=%zu, source=%u, algorithm=%s, workers=%d\n",
-              g.num_vertices(), g.num_edges(), source, algo.c_str(),
-              num_workers());
-
-  for (int r = 0; r < repeats; ++r) {
-    RunStats stats;
-    std::vector<std::uint32_t> dist;
-    auto start = std::chrono::steady_clock::now();
-    if (algo == "pasgal") {
-      PasgalBfsParams params;
-      params.vgc.tau = tau;
-      dist = pasgal_bfs(g, gt, source, params, &stats);
-    } else if (algo == "gbbs") {
-      dist = gbbs_bfs(g, gt, source, &stats);
-    } else if (algo == "gapbs") {
-      dist = gapbs_bfs(g, gt, source, {}, &stats);
-    } else {
-      dist = seq_bfs(g, source, &stats);
+  return apps::run_app([&]() {
+    std::string algo = "pasgal";
+    VertexId source = 0;
+    std::uint32_t tau = 512;
+    int repeats = 3;
+    bool validate = false;
+    apps::FlagParser flags(argc, argv, 2);
+    while (flags.next()) {
+      if (flags.flag() == "--validate") validate = true;
+      else if (flags.flag() == "-s") {
+        source = static_cast<VertexId>(
+            apps::parse_flag_int("-s", flags.value(), 0, 0xFFFFFFFFLL));
+      } else if (flags.flag() == "-a") algo = flags.value();
+      else if (flags.flag() == "-t") {
+        tau = static_cast<std::uint32_t>(
+            apps::parse_flag_int("-t", flags.value(), 1, 0xFFFFFFFFLL));
+      } else if (flags.flag() == "-r") {
+        repeats = static_cast<int>(
+            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
+      } else flags.unknown();
     }
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    std::uint64_t reached = 0, ecc = 0;
-    for (auto d : dist) {
-      if (d != kInfDist) {
-        ++reached;
-        ecc = std::max<std::uint64_t>(ecc, d);
+    if (algo != "pasgal" && algo != "gbbs" && algo != "gapbs" && algo != "seq") {
+      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
+    }
+
+    Graph g = apps::load_graph(argv[1], validate);
+    if (source >= g.num_vertices()) {
+      throw Error(ErrorCategory::kUsage,
+                  "source vertex " + std::to_string(source) +
+                      " out of range (graph has " +
+                      std::to_string(g.num_vertices()) + " vertices)");
+    }
+    Graph gt = g.transpose();
+    std::printf("graph: n=%zu m=%zu, source=%u, algorithm=%s, workers=%d\n",
+                g.num_vertices(), g.num_edges(), source, algo.c_str(),
+                num_workers());
+
+    for (int r = 0; r < repeats; ++r) {
+      RunStats stats;
+      std::vector<std::uint32_t> dist;
+      auto start = std::chrono::steady_clock::now();
+      if (algo == "pasgal") {
+        PasgalBfsParams params;
+        params.vgc.tau = tau;
+        dist = pasgal_bfs(g, gt, source, params, &stats);
+      } else if (algo == "gbbs") {
+        dist = gbbs_bfs(g, gt, source, &stats);
+      } else if (algo == "gapbs") {
+        dist = gapbs_bfs(g, gt, source, {}, &stats);
+      } else {
+        dist = seq_bfs(g, source, &stats);
+      }
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      std::uint64_t reached = 0, ecc = 0;
+      for (auto d : dist) {
+        if (d != kInfDist) {
+          ++reached;
+          ecc = std::max<std::uint64_t>(ecc, d);
+        }
+      }
+      apps::print_stats(algo.c_str(), seconds, stats);
+      if (r == 0) {
+        std::printf("reached %llu vertices, eccentricity %llu\n",
+                    (unsigned long long)reached, (unsigned long long)ecc);
       }
     }
-    apps::print_stats(algo.c_str(), seconds, stats);
-    if (r == 0) {
-      std::printf("reached %llu vertices, eccentricity %llu\n",
-                  (unsigned long long)reached, (unsigned long long)ecc);
-    }
-  }
-  return 0;
+    return 0;
+  });
 }

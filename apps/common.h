@@ -1,26 +1,139 @@
 // Shared command-line plumbing for the per-algorithm driver apps, mirroring
 // the upstream PASGAL repository's layout (one executable per algorithm,
 // fed by a graph file in .adj or .bin format, or a generator spec).
+//
+// Every driver wraps its body in run_app(), which maps typed pasgal::Error
+// failures onto the uniform exit codes documented in README.md:
+//   0 ok / 1 internal error / 2 usage / 3 bad input / 4 resource limit.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
+#include <vector>
 
 #include "graphs/generators.h"
 #include "graphs/graph_io.h"
+#include "pasgal/error.h"
+#include "pasgal/resource.h"
 #include "pasgal/stats.h"
 
 namespace pasgal::apps {
 
+// --- checked integer parsing -------------------------------------------------
+
+// Full-string strtoll with errno/endptr checks: "abc", "12abc", "" and
+// out-of-range values are all errors (the old parser silently mapped them
+// to 0, so `grid:abc:10` ran a degenerate grid instead of failing).
+inline long long parse_int(const std::string& text, const std::string& what,
+                           long long min_value, long long max_value,
+                           ErrorCategory category) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw Error(category, what + ": '" + text + "' is not an integer");
+  }
+  if (errno == ERANGE || value < min_value || value > max_value) {
+    throw Error(category, what + ": " + text + " is out of range [" +
+                              std::to_string(min_value) + ", " +
+                              std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+// Value of a command-line flag (usage errors, exit code 2).
+inline long long parse_flag_int(const std::string& flag, const char* value,
+                                long long min_value, long long max_value) {
+  return parse_int(value, "flag " + flag, min_value, max_value,
+                   ErrorCategory::kUsage);
+}
+
+// --- generator spec parsing --------------------------------------------------
+
+namespace internal {
+
+struct Spec {
+  std::string text;
+  std::string kind;
+  std::vector<std::string> fields;  // fields after the kind
+
+  // i is 1-based field position within the spec (kind is field 0).
+  long long required(std::size_t i, const char* what, long long min_value,
+                     long long max_value) const {
+    if (fields.size() < i || fields[i - 1].empty()) {
+      throw Error(ErrorCategory::kUsage,
+                  "spec '" + text + "': missing field <" + what + ">");
+    }
+    return parse_int(fields[i - 1], "spec '" + text + "' field <" +
+                                        std::string(what) + ">",
+                     min_value, max_value, ErrorCategory::kUsage);
+  }
+
+  long long optional(std::size_t i, const char* what, long long min_value,
+                     long long max_value, long long fallback) const {
+    if (fields.size() < i) return fallback;
+    return parse_int(fields[i - 1], "spec '" + text + "' field <" +
+                                        std::string(what) + ">",
+                     min_value, max_value, ErrorCategory::kUsage);
+  }
+
+  void expect_at_most(std::size_t count) const {
+    if (fields.size() > count) {
+      throw Error(ErrorCategory::kUsage,
+                  "spec '" + text + "': unexpected extra field '" +
+                      fields[count] + "'");
+    }
+  }
+};
+
+inline Spec split_spec(const std::string& spec) {
+  Spec out;
+  out.text = spec;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= spec.size()) {
+    std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) colon = spec.size();
+    std::string part = spec.substr(start, colon - start);
+    if (first) {
+      out.kind = std::move(part);
+      first = false;
+    } else {
+      out.fields.push_back(std::move(part));
+    }
+    start = colon + 1;
+  }
+  return out;
+}
+
+// Generators allocate an edge array before building the CSR; reject specs
+// whose edge count alone would blow the memory ceiling (same guard the file
+// readers apply to header-claimed sizes).
+inline void guard_generated(std::uint64_t n, std::uint64_t m,
+                            const std::string& spec) {
+  unsigned __int128 need = static_cast<unsigned __int128>(m) * sizeof(Edge) +
+                           (static_cast<unsigned __int128>(n) + 1) *
+                               (sizeof(EdgeId) + sizeof(VertexId));
+  constexpr std::uint64_t kMax = static_cast<std::uint64_t>(-1);
+  std::uint64_t need64 = need > kMax ? kMax : static_cast<std::uint64_t>(need);
+  check_allocation(need64, "generated graph '" + spec + "'").throw_if_error();
+}
+
+}  // namespace internal
+
 // Graph sources:
-//   path ending in .adj / .bin        -> load from file
+//   path ending in .adj / .bin        -> load from file (validated on read)
 //   "rmat:<log2n>:<m>[:seed]"         -> RMAT generator
 //   "grid:<rows>:<cols>"              -> undirected rectangle grid
 //   "road:<rows>:<cols>[:two_way_pct]"-> directed road grid
 //   "knn:<n>:<k>[:seed]"              -> k-NN graph
 //   "chain:<n>[:directed]"            -> path graph
+// Malformed specs (non-numeric, missing, or out-of-range fields) are
+// reported as usage errors; corrupt files surface the reader's typed error.
 inline Graph load_graph(const std::string& spec) {
   auto ends_with = [&](const char* suffix) {
     std::size_t len = std::strlen(suffix);
@@ -29,49 +142,92 @@ inline Graph load_graph(const std::string& spec) {
   if (ends_with(".adj")) return read_adj(spec);
   if (ends_with(".bin")) return read_bin(spec);
 
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= spec.size()) {
-    std::size_t colon = spec.find(':', start);
-    if (colon == std::string::npos) colon = spec.size();
-    parts.push_back(spec.substr(start, colon - start));
-    start = colon + 1;
+  internal::Spec s = internal::split_spec(spec);
+  if (s.kind == "rmat") {
+    s.expect_at_most(3);
+    long long log2n = s.required(1, "log2n", 1, 31);
+    long long m = s.required(2, "m", 0, 1LL << 40);
+    long long seed = s.optional(3, "seed", 0, (1LL << 62), 1);
+    internal::guard_generated(std::uint64_t{1} << log2n,
+                              static_cast<std::uint64_t>(m), spec);
+    return gen::rmat(static_cast<int>(log2n), static_cast<std::size_t>(m),
+                     static_cast<std::uint64_t>(seed));
   }
-  auto arg = [&](std::size_t i, long fallback) {
-    return parts.size() > i ? std::strtol(parts[i].c_str(), nullptr, 10)
-                            : fallback;
-  };
-  const std::string& kind = parts[0];
-  if (kind == "rmat") {
-    return gen::rmat(static_cast<int>(arg(1, 16)),
-                     static_cast<std::size_t>(arg(2, 1 << 20)),
-                     static_cast<std::uint64_t>(arg(3, 1)));
+  if (s.kind == "grid") {
+    s.expect_at_most(2);
+    long long rows = s.required(1, "rows", 1, 1LL << 31);
+    long long cols = s.required(2, "cols", 1, 1LL << 31);
+    unsigned __int128 n =
+        static_cast<unsigned __int128>(rows) * static_cast<unsigned __int128>(cols);
+    if (n > (std::uint64_t{1} << 32)) {
+      throw Error(ErrorCategory::kUsage,
+                  "spec '" + spec + "': rows*cols exceeds the 32-bit "
+                  "vertex-id space");
+    }
+    internal::guard_generated(static_cast<std::uint64_t>(n),
+                              4 * static_cast<std::uint64_t>(n), spec);
+    return gen::rectangle_grid(static_cast<std::size_t>(rows),
+                               static_cast<std::size_t>(cols));
   }
-  if (kind == "grid") {
-    return gen::rectangle_grid(static_cast<std::size_t>(arg(1, 100)),
-                               static_cast<std::size_t>(arg(2, 100)));
+  if (s.kind == "road") {
+    s.expect_at_most(3);
+    long long rows = s.required(1, "rows", 1, 1LL << 31);
+    long long cols = s.required(2, "cols", 1, 1LL << 31);
+    long long pct = s.optional(3, "two_way_pct", 0, 100, 85);
+    unsigned __int128 n =
+        static_cast<unsigned __int128>(rows) * static_cast<unsigned __int128>(cols);
+    if (n > (std::uint64_t{1} << 32)) {
+      throw Error(ErrorCategory::kUsage,
+                  "spec '" + spec + "': rows*cols exceeds the 32-bit "
+                  "vertex-id space");
+    }
+    internal::guard_generated(static_cast<std::uint64_t>(n),
+                              4 * static_cast<std::uint64_t>(n), spec);
+    return gen::road_grid(static_cast<std::size_t>(rows),
+                          static_cast<std::size_t>(cols),
+                          static_cast<double>(pct) / 100.0);
   }
-  if (kind == "road") {
-    return gen::road_grid(static_cast<std::size_t>(arg(1, 100)),
-                          static_cast<std::size_t>(arg(2, 100)),
-                          static_cast<double>(arg(3, 85)) / 100.0);
+  if (s.kind == "knn") {
+    s.expect_at_most(3);
+    long long n = s.required(1, "n", 1, 1LL << 32);
+    long long k = s.required(2, "k", 1, 1024);
+    long long seed = s.optional(3, "seed", 0, (1LL << 62), 1);
+    internal::guard_generated(static_cast<std::uint64_t>(n),
+                              static_cast<std::uint64_t>(n) *
+                                  static_cast<std::uint64_t>(k),
+                              spec);
+    return gen::knn_graph(static_cast<std::size_t>(n), static_cast<int>(k),
+                          static_cast<std::uint64_t>(seed));
   }
-  if (kind == "knn") {
-    return gen::knn_graph(static_cast<std::size_t>(arg(1, 100000)),
-                          static_cast<int>(arg(2, 5)),
-                          static_cast<std::uint64_t>(arg(3, 1)));
+  if (s.kind == "chain") {
+    s.expect_at_most(2);
+    long long n = s.required(1, "n", 1, 1LL << 32);
+    long long directed = s.optional(2, "directed", 0, 1, 0);
+    internal::guard_generated(static_cast<std::uint64_t>(n),
+                              2 * static_cast<std::uint64_t>(n), spec);
+    return gen::chain(static_cast<std::size_t>(n), directed != 0);
   }
-  if (kind == "chain") {
-    return gen::chain(static_cast<std::size_t>(arg(1, 100000)), arg(2, 0) != 0);
-  }
-  std::fprintf(stderr,
-               "unknown graph spec '%s'\n"
-               "expected a .adj/.bin path or "
-               "rmat:<log2n>:<m> | grid:<r>:<c> | road:<r>:<c>[:pct] | "
-               "knn:<n>:<k> | chain:<n>[:1]\n",
-               spec.c_str());
-  std::exit(2);
+  throw Error(ErrorCategory::kUsage,
+              "unknown graph spec '" + spec +
+                  "': expected a .adj/.bin path or rmat:<log2n>:<m>[:seed] | "
+                  "grid:<r>:<c> | road:<r>:<c>[:pct] | knn:<n>:<k>[:seed] | "
+                  "chain:<n>[:1]");
 }
+
+// Loads and optionally re-validates (file readers always validate; the
+// `--validate` app flag extends the same CSR check to generated graphs and
+// prints a confirmation so runs on trusted pipelines can prove integrity).
+inline Graph load_graph(const std::string& spec, bool validate) {
+  Graph g = load_graph(spec);
+  if (validate) {
+    g.validate().throw_if_error();
+    std::printf("validate: ok (n=%zu m=%zu)\n", g.num_vertices(),
+                g.num_edges());
+  }
+  return g;
+}
+
+// --- driver scaffolding ------------------------------------------------------
 
 inline void print_stats(const char* algo, double seconds, const RunStats& stats) {
   std::printf("%s: %.4f s | rounds %llu | edges scanned %llu | "
@@ -81,5 +237,62 @@ inline void print_stats(const char* algo, double seconds, const RunStats& stats)
               (unsigned long long)stats.vertices_visited(),
               (unsigned long long)stats.max_frontier());
 }
+
+// Uniform error-to-exit-code mapping for the app drivers. The body either
+// returns an exit code or throws; every throw is reported on stderr with its
+// category so scripts can match on "error [category] ...".
+template <typename Body>
+int run_app(Body&& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error %s\n", e.what());
+    return exit_code(e.category());
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr,
+                 "error [resource] allocation failed (set PASGAL_MEM_LIMIT_MB "
+                 "to reject oversized inputs earlier)\n");
+    return exit_code(ErrorCategory::kResource);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error [internal] %s\n", e.what());
+    return 1;
+  }
+}
+
+// Flag iteration: `-x value` pairs plus boolean switches (--validate).
+// Unknown flags and missing values are usage errors — previously they were
+// silently ignored, so `bfs g.adj -z 5` ran with defaults.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv, int first) : argc_(argc), argv_(argv),
+                                                 i_(first) {}
+
+  bool next() {
+    if (i_ >= argc_) return false;
+    flag_ = argv_[i_];
+    ++i_;
+    return true;
+  }
+
+  const std::string& flag() const { return flag_; }
+
+  const char* value() {
+    if (i_ >= argc_) {
+      throw Error(ErrorCategory::kUsage,
+                  "flag " + flag_ + " expects a value");
+    }
+    return argv_[i_++];
+  }
+
+  [[noreturn]] void unknown() const {
+    throw Error(ErrorCategory::kUsage, "unknown flag '" + flag_ + "'");
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_;
+  std::string flag_;
+};
 
 }  // namespace pasgal::apps

@@ -1,23 +1,43 @@
 // Generator utility: write a generated graph to .adj or .bin.
 //
-//   graph_gen <spec> <output.{adj,bin}>
+//   graph_gen <spec> <output.{adj,bin}> [--validate]
+//
+// Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include "common.h"
 
 using namespace pasgal;
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin}>\n", argv[0]);
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin}> [--validate]\n",
+                 argv[0]);
     return 2;
   }
-  Graph g = apps::load_graph(argv[1]);
-  std::string out = argv[2];
-  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
-    write_bin(g, out);
-  } else {
-    write_adj(g, out);
-  }
-  std::printf("wrote %s: n=%zu m=%zu\n", out.c_str(), g.num_vertices(),
-              g.num_edges());
-  return 0;
+  return apps::run_app([&]() {
+    bool validate = false;
+    apps::FlagParser flags(argc, argv, 3);
+    while (flags.next()) {
+      if (flags.flag() == "--validate") validate = true;
+      else flags.unknown();
+    }
+    std::string out = argv[2];
+    auto ends_with = [&](const char* suffix) {
+      std::size_t len = std::strlen(suffix);
+      return out.size() >= len &&
+             out.compare(out.size() - len, len, suffix) == 0;
+    };
+    if (!ends_with(".adj") && !ends_with(".bin")) {
+      throw Error(ErrorCategory::kUsage,
+                  "output path '" + out + "' must end in .adj or .bin");
+    }
+    Graph g = apps::load_graph(argv[1], validate);
+    if (ends_with(".bin")) {
+      write_bin(g, out);
+    } else {
+      write_adj(g, out);
+    }
+    std::printf("wrote %s: n=%zu m=%zu\n", out.c_str(), g.num_vertices(),
+                g.num_edges());
+    return 0;
+  });
 }

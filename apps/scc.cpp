@@ -1,6 +1,9 @@
 // SCC driver (mirrors the upstream PASGAL per-algorithm executables).
 //
 //   scc <graph> [-a pasgal|gbbs|multistep|seq] [-t tau] [-r repeats]
+//       [--validate]
+//
+// Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include <chrono>
 #include <map>
 
@@ -13,52 +16,65 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <graph> [-a pasgal|gbbs|multistep|seq] [-t tau] "
-                 "[-r repeats]\n",
+                 "[-r repeats] [--validate]\n",
                  argv[0]);
     return 2;
   }
-  std::string algo = "pasgal";
-  std::uint32_t tau = 512;
-  int repeats = 3;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string flag = argv[i];
-    if (flag == "-a") algo = argv[i + 1];
-    if (flag == "-t") tau = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
-    if (flag == "-r") repeats = std::atoi(argv[i + 1]);
-  }
-
-  Graph g = apps::load_graph(argv[1]);
-  Graph gt = g.transpose();
-  std::printf("graph: n=%zu m=%zu, algorithm=%s, workers=%d\n",
-              g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
-
-  for (int r = 0; r < repeats; ++r) {
-    RunStats stats;
-    std::vector<SccLabel> labels;
-    auto start = std::chrono::steady_clock::now();
-    if (algo == "pasgal") {
-      SccParams params;
-      params.vgc.tau = tau;
-      labels = pasgal_scc(g, gt, params, &stats);
-    } else if (algo == "gbbs") {
-      labels = gbbs_scc(g, gt, {}, &stats);
-    } else if (algo == "multistep") {
-      labels = multistep_scc(g, gt, {}, &stats);
-    } else {
-      labels = tarjan_scc(g, &stats);
+  return apps::run_app([&]() {
+    std::string algo = "pasgal";
+    std::uint32_t tau = 512;
+    int repeats = 3;
+    bool validate = false;
+    apps::FlagParser flags(argc, argv, 2);
+    while (flags.next()) {
+      if (flags.flag() == "--validate") validate = true;
+      else if (flags.flag() == "-a") algo = flags.value();
+      else if (flags.flag() == "-t") {
+        tau = static_cast<std::uint32_t>(
+            apps::parse_flag_int("-t", flags.value(), 1, 0xFFFFFFFFLL));
+      } else if (flags.flag() == "-r") {
+        repeats = static_cast<int>(
+            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
+      } else flags.unknown();
     }
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    apps::print_stats(algo.c_str(), seconds, stats);
-    if (r == 0) {
-      auto norm = normalize_scc_labels(labels);
-      std::map<VertexId, std::size_t> sizes;
-      for (auto l : norm) ++sizes[l];
-      std::size_t giant = 0;
-      for (auto& [l, s] : sizes) giant = std::max(giant, s);
-      std::printf("%zu SCCs, largest has %zu vertices\n", sizes.size(), giant);
+    if (algo != "pasgal" && algo != "gbbs" && algo != "multistep" &&
+        algo != "seq") {
+      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
     }
-  }
-  return 0;
+
+    Graph g = apps::load_graph(argv[1], validate);
+    Graph gt = g.transpose();
+    std::printf("graph: n=%zu m=%zu, algorithm=%s, workers=%d\n",
+                g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
+
+    for (int r = 0; r < repeats; ++r) {
+      RunStats stats;
+      std::vector<SccLabel> labels;
+      auto start = std::chrono::steady_clock::now();
+      if (algo == "pasgal") {
+        SccParams params;
+        params.vgc.tau = tau;
+        labels = pasgal_scc(g, gt, params, &stats);
+      } else if (algo == "gbbs") {
+        labels = gbbs_scc(g, gt, {}, &stats);
+      } else if (algo == "multistep") {
+        labels = multistep_scc(g, gt, {}, &stats);
+      } else {
+        labels = tarjan_scc(g, &stats);
+      }
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      apps::print_stats(algo.c_str(), seconds, stats);
+      if (r == 0) {
+        auto norm = normalize_scc_labels(labels);
+        std::map<VertexId, std::size_t> sizes;
+        for (auto l : norm) ++sizes[l];
+        std::size_t giant = 0;
+        for (auto& [l, s] : sizes) giant = std::max(giant, s);
+        std::printf("%zu SCCs, largest has %zu vertices\n", sizes.size(), giant);
+      }
+    }
+    return 0;
+  });
 }

@@ -2,7 +2,9 @@
 // Weights are attached deterministically (uniform in [1, max_weight]).
 //
 //   sssp <graph> [-s source] [-a rho|delta|bf|seq] [-w max_weight]
-//        [-d delta] [-r repeats]
+//        [-d delta] [-r repeats] [--validate]
+//
+// Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include <chrono>
 
 #include "algorithms/sssp/sssp.h"
@@ -14,58 +16,80 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <graph> [-s source] [-a rho|delta|bf|seq] "
-                 "[-w max_weight] [-d delta] [-r repeats]\n",
+                 "[-w max_weight] [-d delta] [-r repeats] [--validate]\n",
                  argv[0]);
     return 2;
   }
-  std::string algo = "rho";
-  VertexId source = 0;
-  std::uint32_t max_weight = 100;
-  Dist delta = 32;
-  int repeats = 3;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string flag = argv[i];
-    if (flag == "-s") source = static_cast<VertexId>(std::atoll(argv[i + 1]));
-    if (flag == "-a") algo = argv[i + 1];
-    if (flag == "-w") max_weight = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
-    if (flag == "-d") delta = static_cast<Dist>(std::atoll(argv[i + 1]));
-    if (flag == "-r") repeats = std::atoi(argv[i + 1]);
-  }
-
-  auto g = gen::add_weights(apps::load_graph(argv[1]), max_weight);
-  std::printf("graph: n=%zu m=%zu, source=%u, algorithm=%s, workers=%d\n",
-              g.num_vertices(), g.num_edges(), source, algo.c_str(),
-              num_workers());
-
-  for (int r = 0; r < repeats; ++r) {
-    RunStats stats;
-    std::vector<Dist> dist;
-    auto start = std::chrono::steady_clock::now();
-    if (algo == "rho") {
-      dist = rho_stepping(g, source, &stats);
-    } else if (algo == "delta") {
-      dist = delta_stepping(g, source, delta, &stats);
-    } else if (algo == "bf") {
-      dist = bellman_ford(g, source, &stats);
-    } else {
-      dist = dijkstra(g, source, &stats);
+  return apps::run_app([&]() {
+    std::string algo = "rho";
+    VertexId source = 0;
+    std::uint32_t max_weight = 100;
+    Dist delta = 32;
+    int repeats = 3;
+    bool validate = false;
+    apps::FlagParser flags(argc, argv, 2);
+    while (flags.next()) {
+      if (flags.flag() == "--validate") validate = true;
+      else if (flags.flag() == "-s") {
+        source = static_cast<VertexId>(
+            apps::parse_flag_int("-s", flags.value(), 0, 0xFFFFFFFFLL));
+      } else if (flags.flag() == "-a") algo = flags.value();
+      else if (flags.flag() == "-w") {
+        max_weight = static_cast<std::uint32_t>(
+            apps::parse_flag_int("-w", flags.value(), 1, 0xFFFFFFFFLL));
+      } else if (flags.flag() == "-d") {
+        delta = static_cast<Dist>(
+            apps::parse_flag_int("-d", flags.value(), 1, 1LL << 40));
+      } else if (flags.flag() == "-r") {
+        repeats = static_cast<int>(
+            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
+      } else flags.unknown();
     }
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    apps::print_stats(algo.c_str(), seconds, stats);
-    if (r == 0) {
-      std::uint64_t reached = 0;
-      Dist far = 0;
-      for (auto d : dist) {
-        if (d != kInfWeightDist) {
-          ++reached;
-          far = std::max(far, d);
-        }
+    if (algo != "rho" && algo != "delta" && algo != "bf" && algo != "seq") {
+      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
+    }
+
+    auto g = gen::add_weights(apps::load_graph(argv[1], validate), max_weight);
+    if (source >= g.num_vertices()) {
+      throw Error(ErrorCategory::kUsage,
+                  "source vertex " + std::to_string(source) +
+                      " out of range (graph has " +
+                      std::to_string(g.num_vertices()) + " vertices)");
+    }
+    std::printf("graph: n=%zu m=%zu, source=%u, algorithm=%s, workers=%d\n",
+                g.num_vertices(), g.num_edges(), source, algo.c_str(),
+                num_workers());
+
+    for (int r = 0; r < repeats; ++r) {
+      RunStats stats;
+      std::vector<Dist> dist;
+      auto start = std::chrono::steady_clock::now();
+      if (algo == "rho") {
+        dist = rho_stepping(g, source, &stats);
+      } else if (algo == "delta") {
+        dist = delta_stepping(g, source, delta, &stats);
+      } else if (algo == "bf") {
+        dist = bellman_ford(g, source, &stats);
+      } else {
+        dist = dijkstra(g, source, &stats);
       }
-      std::printf("reached %llu vertices, weighted eccentricity %llu\n",
-                  (unsigned long long)reached, (unsigned long long)far);
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      apps::print_stats(algo.c_str(), seconds, stats);
+      if (r == 0) {
+        std::uint64_t reached = 0;
+        Dist far = 0;
+        for (auto d : dist) {
+          if (d != kInfWeightDist) {
+            ++reached;
+            far = std::max(far, d);
+          }
+        }
+        std::printf("reached %llu vertices, weighted eccentricity %llu\n",
+                    (unsigned long long)reached, (unsigned long long)far);
+      }
     }
-  }
-  return 0;
+    return 0;
+  });
 }

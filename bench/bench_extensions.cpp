@@ -54,10 +54,11 @@ int main() {
     RunStats flat_stats, vgc_stats;
     ToposortParams flat;
     flat.vgc.tau = 1;
-    auto a = pasgal_toposort(cond.dag, flat, &flat_stats);
-    auto b = pasgal_toposort(cond.dag, {}, &vgc_stats);
-    auto ref = seq_toposort(cond.dag);
-    if (a != ref || b != ref) {
+    std::vector<std::uint32_t> a, b, ref;
+    bool ok = pasgal_toposort(cond.dag, a, flat, &flat_stats).ok() &&
+              pasgal_toposort(cond.dag, b, {}, &vgc_stats).ok() &&
+              seq_toposort(cond.dag, ref).ok();
+    if (!ok || a != ref || b != ref) {
       std::fprintf(stderr, "TOPOSORT MISMATCH on %s\n", spec.name.c_str());
       return 1;
     }

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Robustness gate: build + full test suite, then an ASan+UBSan build that
+# re-runs the input-hardening tests (fuzz corpus, readers, hashbag) and
+# exercises every app driver on small graphs, including the failure paths.
+# Usage: bench/check.sh [build_dir_prefix]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+
+echo "=== plain build + ctest ==="
+cmake -B "$prefix" -S . > /dev/null
+cmake --build "$prefix" -j > /dev/null
+(cd "$prefix" && ctest --output-on-failure -j "$(nproc)")
+
+echo
+echo "=== ASan+UBSan build ==="
+cmake -B "$prefix-san" -S . -DPASGAL_SANITIZE=address,undefined > /dev/null
+cmake --build "$prefix-san" -j > /dev/null
+
+echo "--- sanitized input-hardening tests ---"
+(cd "$prefix-san" && ctest --output-on-failure -j "$(nproc)" \
+    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|app_exit_')
+
+echo "--- sanitized app drivers (success paths) ---"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$prefix-san/apps/graph_gen" chain:2000 "$tmp/chain.adj" --validate
+"$prefix-san/apps/graph_gen" grid:40:40 "$tmp/grid.bin" --validate
+"$prefix-san/apps/bfs"  "$tmp/chain.adj" --validate -r 1 > /dev/null
+"$prefix-san/apps/sssp" "$tmp/grid.bin" --validate -a delta -r 1 > /dev/null
+"$prefix-san/apps/scc"  road:30:30 -r 1 > /dev/null
+"$prefix-san/apps/bcc"  grid:30:30 -r 1 > /dev/null
+
+echo "--- sanitized app drivers (failure paths must exit cleanly) ---"
+expect() { want="$1"; shift
+  set +e; "$@" > /dev/null 2>&1; got=$?; set -e
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $got, expected $want" >&2; exit 1
+  fi
+}
+printf 'AdjacencyGraph\n5\n10\n0\n1\n' > "$tmp/trunc.adj"
+expect 3 "$prefix-san/apps/bfs" "$tmp/trunc.adj"
+expect 3 "$prefix-san/apps/bfs" "$tmp/missing.adj"
+expect 2 "$prefix-san/apps/bfs" grid:abc:10
+expect 2 "$prefix-san/apps/sssp" chain:100 -a nope
+expect 4 env PASGAL_MEM_LIMIT_MB=64 "$prefix-san/apps/bfs" rmat:30:1000000000000
+
+echo
+echo "check.sh: all gates passed"

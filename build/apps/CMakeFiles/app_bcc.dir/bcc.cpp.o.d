@@ -230,9 +230,9 @@ apps/CMakeFiles/app_bcc.dir/bcc.cpp.o: /root/repo/apps/bcc.cpp \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/apps/common.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/apps/common.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/graphs/generators.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -255,4 +255,9 @@ apps/CMakeFiles/app_bcc.dir/bcc.cpp.o: /root/repo/apps/bcc.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/parlay/hash_rng.h /root/repo/src/graphs/graph_io.h
+ /root/repo/src/parlay/hash_rng.h /root/repo/src/graphs/graph_io.h \
+ /root/repo/src/pasgal/resource.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -233,10 +233,11 @@ apps/CMakeFiles/app_scc.dir/scc.cpp.o: /root/repo/apps/scc.cpp \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/pasgal/vgc.h /root/repo/src/pasgal/hashbag.h \
- /root/repo/src/parlay/hash_rng.h /root/repo/apps/common.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/pasgal/vgc.h \
+ /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h \
+ /root/repo/apps/common.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/graphs/generators.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -259,4 +260,8 @@ apps/CMakeFiles/app_scc.dir/scc.cpp.o: /root/repo/apps/scc.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/graphs/graph_io.h
+ /root/repo/src/graphs/graph_io.h /root/repo/src/pasgal/resource.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -4,3 +4,23 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(app_exit_bfs_ok "/usr/bin/sh" "-c" "/root/repo/build/apps/bfs chain:1000 --validate -s 0 -r 1 > /dev/null 2>&1; test \$? -eq 0")
+set_tests_properties(app_exit_bfs_ok PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;23;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_bfs_no_args "/usr/bin/sh" "-c" "/root/repo/build/apps/bfs > /dev/null 2>&1; test \$? -eq 2")
+set_tests_properties(app_exit_bfs_no_args PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;25;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_bfs_bad_spec_field "/usr/bin/sh" "-c" "/root/repo/build/apps/bfs grid:abc:10 > /dev/null 2>&1; test \$? -eq 2")
+set_tests_properties(app_exit_bfs_bad_spec_field PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;27;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_bfs_unknown_flag "/usr/bin/sh" "-c" "/root/repo/build/apps/bfs chain:100 -z 5 > /dev/null 2>&1; test \$? -eq 2")
+set_tests_properties(app_exit_bfs_unknown_flag PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;29;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_bfs_missing_file "/usr/bin/sh" "-c" "/root/repo/build/apps/bfs no_such_graph.adj > /dev/null 2>&1; test \$? -eq 3")
+set_tests_properties(app_exit_bfs_missing_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;31;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_bfs_resource_limit "/usr/bin/sh" "-c" "PASGAL_MEM_LIMIT_MB=64 /root/repo/build/apps/bfs rmat:30:1000000000000 > /dev/null 2>&1; test \$? -eq 4")
+set_tests_properties(app_exit_bfs_resource_limit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;33;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_sssp_ok "/usr/bin/sh" "-c" "/root/repo/build/apps/sssp chain:1000 -s 0 -r 1 > /dev/null 2>&1; test \$? -eq 0")
+set_tests_properties(app_exit_sssp_ok PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;35;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_sssp_bad_algo "/usr/bin/sh" "-c" "/root/repo/build/apps/sssp chain:100 -a nope > /dev/null 2>&1; test \$? -eq 2")
+set_tests_properties(app_exit_sssp_bad_algo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;37;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_scc_bad_spec_kind "/usr/bin/sh" "-c" "/root/repo/build/apps/scc blorp:10 > /dev/null 2>&1; test \$? -eq 2")
+set_tests_properties(app_exit_scc_bad_spec_kind PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;39;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(app_exit_graph_gen_bad_suffix "/usr/bin/sh" "-c" "/root/repo/build/apps/graph_gen chain:10 out.xyz > /dev/null 2>&1; test \$? -eq 2")
+set_tests_properties(app_exit_graph_gen_bad_suffix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;41;pasgal_exit_test;/root/repo/apps/CMakeLists.txt;0;")

@@ -231,4 +231,5 @@ bench/CMakeFiles/bench_ablation_hashbag.dir/bench_ablation_hashbag.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h
+ /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h \
+ /root/repo/src/pasgal/error.h

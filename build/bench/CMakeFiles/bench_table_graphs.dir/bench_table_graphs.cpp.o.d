@@ -257,6 +257,7 @@ bench/CMakeFiles/bench_table_graphs.dir/bench_table_graphs.cpp.o: \
  /root/repo/src/parlay/primitives.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/pasgal/vgc.h /root/repo/src/pasgal/hashbag.h \
- /root/repo/src/parlay/hash_rng.h /root/repo/src/graphs/generators.h
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/pasgal/vgc.h \
+ /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h \
+ /root/repo/src/graphs/generators.h

@@ -232,11 +232,12 @@ examples/CMakeFiles/social_analysis.dir/social_analysis.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/pasgal/vgc.h /root/repo/src/pasgal/hashbag.h \
- /root/repo/src/parlay/hash_rng.h /root/repo/src/algorithms/scc/scc.h \
- /root/repo/src/graphs/generators.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/pasgal/vgc.h \
+ /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h \
+ /root/repo/src/algorithms/scc/scc.h /root/repo/src/graphs/generators.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -27,12 +27,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/algorithms/sssp/bellman_ford.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/bellman_ford.cpp.o.d"
   "/root/repo/src/algorithms/sssp/dijkstra.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/dijkstra.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/dijkstra.cpp.o.d"
   "/root/repo/src/algorithms/sssp/ppsp.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/ppsp.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/ppsp.cpp.o.d"
+  "/root/repo/src/algorithms/sssp/preconditions.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/preconditions.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/preconditions.cpp.o.d"
   "/root/repo/src/algorithms/sssp/stepping.cpp" "src/CMakeFiles/pasgal.dir/algorithms/sssp/stepping.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/sssp/stepping.cpp.o.d"
   "/root/repo/src/algorithms/toposort/toposort.cpp" "src/CMakeFiles/pasgal.dir/algorithms/toposort/toposort.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/toposort/toposort.cpp.o.d"
   "/root/repo/src/algorithms/tree/euler.cpp" "src/CMakeFiles/pasgal.dir/algorithms/tree/euler.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/algorithms/tree/euler.cpp.o.d"
   "/root/repo/src/graphs/graph_io.cpp" "src/CMakeFiles/pasgal.dir/graphs/graph_io.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/graph_io.cpp.o.d"
   "/root/repo/src/graphs/graph_stats.cpp" "src/CMakeFiles/pasgal.dir/graphs/graph_stats.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/graph_stats.cpp.o.d"
   "/root/repo/src/graphs/knn.cpp" "src/CMakeFiles/pasgal.dir/graphs/knn.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/knn.cpp.o.d"
+  "/root/repo/src/graphs/validate.cpp" "src/CMakeFiles/pasgal.dir/graphs/validate.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/graphs/validate.cpp.o.d"
   "/root/repo/src/parlay/scheduler.cpp" "src/CMakeFiles/pasgal.dir/parlay/scheduler.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/parlay/scheduler.cpp.o.d"
   "/root/repo/src/pasgal/stats.cpp" "src/CMakeFiles/pasgal.dir/pasgal/stats.cpp.o" "gcc" "src/CMakeFiles/pasgal.dir/pasgal/stats.cpp.o.d"
   )

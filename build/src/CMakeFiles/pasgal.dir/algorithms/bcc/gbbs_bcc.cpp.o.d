@@ -230,8 +230,8 @@ src/CMakeFiles/pasgal.dir/algorithms/bcc/gbbs_bcc.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/algorithms/bcc/bcc_common.h \
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/algorithms/bcc/bcc_common.h \
  /root/repo/src/algorithms/cc/cc.h /root/repo/src/algorithms/tree/euler.h \
  /root/repo/src/algorithms/tree/range_query.h \
  /root/repo/src/pasgal/edge_map.h /root/repo/src/pasgal/vertex_subset.h

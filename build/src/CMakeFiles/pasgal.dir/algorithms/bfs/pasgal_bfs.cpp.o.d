@@ -230,6 +230,6 @@ src/CMakeFiles/pasgal.dir/algorithms/bfs/pasgal_bfs.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/pasgal/vgc.h /root/repo/src/pasgal/hashbag.h \
- /root/repo/src/parlay/hash_rng.h
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/pasgal/vgc.h \
+ /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h

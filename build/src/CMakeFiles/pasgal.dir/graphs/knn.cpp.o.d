@@ -253,4 +253,5 @@ src/CMakeFiles/pasgal.dir/graphs/knn.cpp.o: /root/repo/src/graphs/knn.cpp \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/parlay/hash_rng.h
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/parlay/hash_rng.h

@@ -309,10 +309,10 @@ tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o: \
  /root/repo/src/parlay/primitives.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/algorithms/bfs/bfs.h /root/repo/src/pasgal/vgc.h \
- /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h \
- /root/repo/src/algorithms/cc/cc.h \
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/algorithms/bfs/bfs.h \
+ /root/repo/src/pasgal/vgc.h /root/repo/src/pasgal/hashbag.h \
+ /root/repo/src/parlay/hash_rng.h /root/repo/src/algorithms/cc/cc.h \
  /root/repo/src/algorithms/kcore/kcore.h \
  /root/repo/src/algorithms/scc/scc.h \
  /root/repo/src/algorithms/sssp/sssp.h /root/repo/src/graphs/generators.h \

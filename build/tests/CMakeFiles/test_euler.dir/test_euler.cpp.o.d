@@ -309,8 +309,8 @@ tests/CMakeFiles/test_euler.dir/test_euler.cpp.o: \
  /root/repo/src/parlay/primitives.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/pasgal/stats.h \
- /root/repo/src/algorithms/tree/euler.h \
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/pasgal/stats.h /root/repo/src/algorithms/tree/euler.h \
  /root/repo/src/algorithms/tree/range_query.h \
  /root/repo/src/graphs/generators.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_io_fuzz.dir/test_graph_io_fuzz.cpp.o"
+  "CMakeFiles/test_graph_io_fuzz.dir/test_graph_io_fuzz.cpp.o.d"
+  "test_graph_io_fuzz"
+  "test_graph_io_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_io_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

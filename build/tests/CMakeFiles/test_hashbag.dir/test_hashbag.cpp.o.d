@@ -308,4 +308,5 @@ tests/CMakeFiles/test_hashbag.dir/test_hashbag.cpp.o: \
  /root/repo/src/pasgal/hashbag.h /root/repo/src/parlay/hash_rng.h \
  /root/repo/src/parlay/primitives.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
+ /root/repo/src/pasgal/error.h

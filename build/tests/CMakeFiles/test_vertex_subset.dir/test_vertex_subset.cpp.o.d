@@ -330,5 +330,5 @@ tests/CMakeFiles/test_vertex_subset.dir/test_vertex_subset.cpp.o: \
  /root/repo/src/parlay/primitives.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/parlay/sort.h /root/repo/src/parlay/hash_rng.h \
- /root/repo/src/pasgal/vertex_subset.h
+ /root/repo/src/parlay/sort.h /root/repo/src/pasgal/error.h \
+ /root/repo/src/parlay/hash_rng.h /root/repo/src/pasgal/vertex_subset.h

@@ -57,9 +57,9 @@ int main(int argc, char** argv) {
   // Build schedule over the condensation.
   Condensation cond = scc_condensation(g, labels);
   RunStats topo_stats;
-  auto levels = pasgal_toposort(cond.dag, {}, &topo_stats);
-  if (levels.empty()) {
-    std::printf("internal error: condensation has a cycle\n");
+  std::vector<std::uint32_t> levels;
+  if (Status s = pasgal_toposort(cond.dag, levels, {}, &topo_stats); !s.ok()) {
+    std::printf("internal error: %s\n", s.to_string().c_str());
     return 1;
   }
   std::uint32_t depth = 0;

@@ -11,6 +11,7 @@ namespace pasgal {
 // round-count pathology the stepping framework avoids.
 std::vector<Dist> bellman_ford(const WeightedGraph<std::uint32_t>& g,
                                VertexId source, RunStats* stats) {
+  check_sssp_preconditions(g, source, kInfWeightDist - 1).throw_if_error();
   std::size_t n = g.num_vertices();
   std::vector<std::atomic<Dist>> dist(n);
   parallel_for(0, n, [&](std::size_t i) {

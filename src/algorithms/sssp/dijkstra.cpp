@@ -8,6 +8,7 @@ namespace pasgal {
 // sequential SSSP baseline.
 std::vector<Dist> dijkstra(const WeightedGraph<std::uint32_t>& g,
                            VertexId source, RunStats* stats) {
+  check_sssp_preconditions(g, source, kInfWeightDist - 1).throw_if_error();
   std::size_t n = g.num_vertices();
   std::vector<Dist> dist(n, kInfWeightDist);
   using Entry = std::pair<Dist, VertexId>;

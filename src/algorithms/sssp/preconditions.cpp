@@ -1,0 +1,38 @@
+// Shared SSSP precondition checks (declared in sssp.h).
+#include "algorithms/sssp/sssp.h"
+#include "parlay/primitives.h"
+
+namespace pasgal {
+
+Status check_sssp_preconditions(const WeightedGraph<std::uint32_t>& g,
+                                VertexId source, Dist max_dist) {
+  std::size_t n = g.num_vertices();
+  if (source >= n) {
+    return Status::Failure(ErrorCategory::kValidation,
+                           "source vertex " + std::to_string(source) +
+                               " out of range (graph has " +
+                               std::to_string(n) + " vertices)");
+  }
+  Status s = g.validate();
+  if (!s.ok()) return s;
+  if (n <= 1 || g.num_edges() == 0) return Status::Ok();
+
+  std::uint32_t max_w = reduce_indexed<std::uint32_t>(
+      g.num_edges(), 0,
+      [](std::uint32_t a, std::uint32_t b) { return a > b ? a : b; },
+      [&](std::size_t e) { return g.edge_weight(e); });
+  unsigned __int128 worst =
+      static_cast<unsigned __int128>(n - 1) * max_w;
+  if (worst > static_cast<unsigned __int128>(max_dist)) {
+    return Status::Failure(
+        ErrorCategory::kValidation,
+        "weight-sum overflow risk: a path over " + std::to_string(n) +
+            " vertices with max edge weight " + std::to_string(max_w) +
+            " can exceed the algorithm's distance ceiling " +
+            std::to_string(max_dist) +
+            "; rescale the weights or use a 64-bit variant");
+  }
+  return Status::Ok();
+}
+
+}  // namespace pasgal

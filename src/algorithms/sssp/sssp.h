@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/error.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
@@ -27,6 +28,17 @@ namespace pasgal {
 
 using Dist = std::uint64_t;
 inline constexpr Dist kInfWeightDist = static_cast<Dist>(-1);
+
+// Structural preconditions shared by every SSSP variant, run before any
+// unchecked indexing: the source must exist, the weight array must cover
+// every edge, and (n - 1) * max_weight — the largest distance any simple
+// path can reach — must fit below `max_dist`, the algorithm's distance
+// ceiling (2^32 - 1 for the stepping framework's packed 32-bit tentative
+// distances, kInfWeightDist for the 64-bit baselines). Rejecting on that
+// conservative product means no relaxation can overflow mid-run.
+// All public SSSP entry points call this and throw the kValidation Error.
+Status check_sssp_preconditions(const WeightedGraph<std::uint32_t>& g,
+                                VertexId source, Dist max_dist);
 
 std::vector<Dist> dijkstra(const WeightedGraph<std::uint32_t>& g,
                            VertexId source, RunStats* stats = nullptr);

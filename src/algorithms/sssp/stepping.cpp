@@ -43,6 +43,10 @@ int bucket_for(std::uint32_t gap) {
 std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
                                 VertexId source, SteppingParams params,
                                 RunStats* stats) {
+  // Tentative distances are packed into 32 bits (see encode() above), so the
+  // ceiling here is kInf32 - 1, not the 64-bit kInfWeightDist.
+  check_sssp_preconditions(g, source, static_cast<Dist>(kInf32) - 1)
+      .throw_if_error();
   std::size_t n = g.num_vertices();
   std::vector<std::atomic<std::uint32_t>> dist(n);
   parallel_for(0, n, [&](std::size_t i) {
@@ -125,7 +129,8 @@ std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
                   std::uint64_t nd64 =
                       static_cast<std::uint64_t>(du) + g.edge_weight(e);
                   if (nd64 >= kInf32) {
-                    throw std::runtime_error(
+                    throw Error(
+                        ErrorCategory::kValidation,
                         "stepping_sssp: tentative distance exceeds 32 bits");
                   }
                   std::uint32_t nd = static_cast<std::uint32_t>(nd64);

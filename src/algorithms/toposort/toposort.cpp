@@ -8,7 +8,20 @@
 
 namespace pasgal {
 
-std::vector<std::uint32_t> seq_toposort(const Graph& g, RunStats* stats) {
+namespace {
+
+Status cycle_status(std::size_t unfinished, std::size_t n) {
+  return Status::Failure(
+      ErrorCategory::kValidation,
+      "graph is not a DAG: " + std::to_string(unfinished) + " of " +
+          std::to_string(n) + " vertices are stuck on cycles");
+}
+
+}  // namespace
+
+Status seq_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
+                    RunStats* stats) {
+  levels.clear();
   std::size_t n = g.num_vertices();
   Graph gt = g.transpose();
   std::vector<std::uint32_t> indeg(n), level(n, 0);
@@ -34,17 +47,18 @@ std::vector<std::uint32_t> seq_toposort(const Graph& g, RunStats* stats) {
     stats->add_visits(done);
     stats->end_round(done);
   }
-  if (done != n) return {};  // cycle
-  return level;
+  if (done != n) return cycle_status(n - done, n);
+  levels = std::move(level);
+  return Status::Ok();
 }
 
 // Parallel Kahn peeling. Levels are computed as longest-path depths via
 // atomic write_max; a vertex is finished (and its successors decremented)
 // exactly once, when its in-degree counter hits zero — by then all
 // predecessors have contributed their level, so level[v] is final.
-std::vector<std::uint32_t> pasgal_toposort(const Graph& g,
-                                           ToposortParams params,
-                                           RunStats* stats) {
+Status pasgal_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
+                       ToposortParams params, RunStats* stats) {
+  levels.clear();
   std::size_t n = g.num_vertices();
   Graph gt = g.transpose();
   std::vector<std::atomic<std::uint32_t>> indeg(n), level(n);
@@ -97,10 +111,12 @@ std::vector<std::uint32_t> pasgal_toposort(const Graph& g,
         1);
     frontier = bag.extract_all();
   }
-  if (finished.load(std::memory_order_relaxed) != n) return {};  // cycle
-  return tabulate(n, [&](std::size_t v) {
+  std::uint64_t done = finished.load(std::memory_order_relaxed);
+  if (done != n) return cycle_status(n - done, n);
+  levels = tabulate(n, [&](std::size_t v) {
     return level[v].load(std::memory_order_relaxed);
   });
+  return Status::Ok();
 }
 
 std::vector<VertexId> topological_order(std::span<const std::uint32_t> levels) {

@@ -8,30 +8,32 @@
 //                      finishing a vertex may drop a successor's in-degree
 //                      to zero; the task keeps peeling such chains locally.
 //
-// Both return `level[v]` = length of the longest path ending at v — a
+// Both produce `level[v]` = length of the longest path ending at v — a
 // canonical topological layering (u -> v implies level[u] < level[v]) that
 // is schedule-independent, so parallel and sequential outputs are directly
-// comparable. Returns an empty vector if the graph has a cycle.
+// comparable. A cyclic input is reported as a kValidation Status (with the
+// number of vertices stuck on cycles) and `levels` is left empty.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/error.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
 namespace pasgal {
 
-std::vector<std::uint32_t> seq_toposort(const Graph& g, RunStats* stats = nullptr);
+Status seq_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
+                    RunStats* stats = nullptr);
 
 struct ToposortParams {
   VgcParams vgc;
 };
 
-std::vector<std::uint32_t> pasgal_toposort(const Graph& g,
-                                           ToposortParams params = {},
-                                           RunStats* stats = nullptr);
+Status pasgal_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
+                       ToposortParams params = {}, RunStats* stats = nullptr);
 
 // Convenience: vertices sorted by (level, id) — a concrete topological order.
 std::vector<VertexId> topological_order(std::span<const std::uint32_t> levels);

@@ -16,6 +16,7 @@
 #include "parlay/parallel.h"
 #include "parlay/primitives.h"
 #include "parlay/sort.h"
+#include "pasgal/error.h"
 
 namespace pasgal {
 
@@ -23,6 +24,15 @@ using VertexId = std::uint32_t;
 using EdgeId = std::uint64_t;
 
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+// Parallel CSR invariant check (implemented in graphs/validate.cpp):
+// offsets present and monotone, offsets[0] == 0, offsets[n] == m, every
+// target < n, and n within the 32-bit vertex-id space. Returns the first
+// violation as a kValidation Status. All read_* paths run this before
+// handing a graph to algorithms that do unchecked offsets[]/targets[]
+// indexing.
+Status validate_csr(std::span<const EdgeId> offsets,
+                    std::span<const VertexId> targets);
 
 struct Edge {
   VertexId from = 0;
@@ -79,6 +89,9 @@ class Graph {
 
   bool is_symmetric() const;
 
+  // CSR invariant check; see validate_csr() above.
+  Status validate() const { return validate_csr(offsets_, targets_); }
+
   std::vector<Edge> to_edges() const {
     std::vector<Edge> edges(num_edges());
     parallel_for(0, num_vertices(), [&](std::size_t v) {
@@ -124,6 +137,21 @@ class WeightedGraph {
   W edge_weight(EdgeId e) const { return weights_[e]; }
 
   const Graph& unweighted() const { return graph_; }
+
+  // Structural check plus weight sanity: the weight array must cover every
+  // edge (one weight per target). Algorithms index weights_[e] unchecked.
+  Status validate() const {
+    Status s = graph_.validate();
+    if (!s.ok()) return s;
+    if (weights_.size() != graph_.num_edges()) {
+      return Status::Failure(
+          ErrorCategory::kValidation,
+          "weight array has " + std::to_string(weights_.size()) +
+              " entries but the graph has " +
+              std::to_string(graph_.num_edges()) + " edges");
+    }
+    return Status::Ok();
+  }
 
   static WeightedGraph from_edges(std::size_t n,
                                   std::span<const WeightedEdge<W>> edges);

@@ -1,23 +1,97 @@
 #include "graphs/graph_io.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "pasgal/resource.h"
 
 namespace pasgal {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& path, const std::string& why) {
-  throw std::runtime_error("graph_io: " + path + ": " + why);
+[[noreturn]] void fail(ErrorCategory category, const std::string& path,
+                       const std::string& why,
+                       std::uint64_t offset = kNoOffset) {
+  throw Error(category, why, path, offset);
 }
 
 void expect_header(std::istream& in, const std::string& path,
                    const std::string& expected) {
   std::string header;
   if (!(in >> header) || header != expected) {
-    fail(path, "expected header '" + expected + "', got '" + header + "'");
+    fail(ErrorCategory::kFormat, path,
+         "expected header '" + expected + "', got '" + header + "'");
+  }
+}
+
+std::uint64_t file_size_bytes(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+// Resource guard shared by every reader and generator-facing path: the
+// header-claimed sizes drive allocations, so they are cross-checked against
+// the memory ceiling *before* any vector is materialized. `bytes_per_vertex`
+// and `bytes_per_edge` describe the in-memory CSR footprint.
+void guard_claimed_sizes(const std::string& path, std::uint64_t n,
+                         std::uint64_t m, std::uint64_t bytes_per_vertex,
+                         std::uint64_t bytes_per_edge) {
+  unsigned __int128 need =
+      (static_cast<unsigned __int128>(n) + 1) * bytes_per_vertex +
+      static_cast<unsigned __int128>(m) * bytes_per_edge;
+  constexpr std::uint64_t kMax = static_cast<std::uint64_t>(-1);
+  std::uint64_t need64 = need > kMax ? kMax : static_cast<std::uint64_t>(need);
+  check_allocation(need64,
+                   "graph with n=" + std::to_string(n) +
+                       " m=" + std::to_string(m),
+                   path)
+      .throw_if_error();
+}
+
+// Plausibility floor for text formats: every offset/target/weight is at
+// least one digit plus a separator, so a well-formed file must have at least
+// 2 * records bytes after the header. Catches headers claiming far more
+// records than the file could possibly hold without parsing them all.
+void guard_text_plausibility(const std::string& path, std::uint64_t records) {
+  std::uint64_t actual = file_size_bytes(path);
+  if (records > actual / 2 + 1) {
+    fail(ErrorCategory::kFormat, path,
+         "header claims " + std::to_string(records) +
+             " records but the file has only " + std::to_string(actual) +
+             " bytes",
+         actual);
+  }
+}
+
+// Binary-format frame check: header size field and actual file size must
+// both match the size implied by (n, m). A short file is a truncation, a
+// long one is trailing garbage; both are rejected.
+void guard_bin_frame(const std::string& path, std::uint64_t claimed_bytes,
+                     unsigned __int128 expected) {
+  constexpr std::uint64_t kMax = static_cast<std::uint64_t>(-1);
+  std::uint64_t expected64 =
+      expected > kMax ? kMax : static_cast<std::uint64_t>(expected);
+  if (claimed_bytes != expected64) {
+    fail(ErrorCategory::kFormat, path,
+         "header size field says " + std::to_string(claimed_bytes) +
+             " bytes but n/m imply " + std::to_string(expected64));
+  }
+  std::uint64_t actual = file_size_bytes(path);
+  if (actual < expected64) {
+    fail(ErrorCategory::kFormat, path,
+         "truncated: file has " + std::to_string(actual) +
+             " bytes, header-implied size is " + std::to_string(expected64),
+         actual);
+  }
+  if (actual > expected64) {
+    fail(ErrorCategory::kFormat, path,
+         std::to_string(actual - expected64) +
+             " bytes of trailing garbage after the header-implied size of " +
+             std::to_string(expected64),
+         expected64);
   }
 }
 
@@ -25,34 +99,49 @@ void expect_header(std::istream& in, const std::string& path,
 
 void write_adj(const Graph& g, const std::string& path) {
   std::ofstream out(path);
-  if (!out) fail(path, "cannot open for writing");
+  if (!out) fail(ErrorCategory::kIo, path, "cannot open for writing");
   out << "AdjacencyGraph\n" << g.num_vertices() << '\n' << g.num_edges() << '\n';
   for (std::size_t v = 0; v < g.num_vertices(); ++v) out << g.offsets()[v] << '\n';
   for (VertexId t : g.targets()) out << t << '\n';
-  if (!out) fail(path, "write error");
+  if (!out) fail(ErrorCategory::kIo, path, "write error");
 }
 
 Graph read_adj(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail(path, "cannot open for reading");
+  if (!in) fail(ErrorCategory::kIo, path, "cannot open for reading");
   expect_header(in, path, "AdjacencyGraph");
   std::size_t n = 0, m = 0;
-  if (!(in >> n >> m)) fail(path, "bad n/m");
+  if (!(in >> n >> m)) fail(ErrorCategory::kFormat, path, "bad n/m");
+  guard_claimed_sizes(path, n, m, sizeof(EdgeId), sizeof(VertexId));
+  guard_text_plausibility(path, static_cast<std::uint64_t>(n) + m);
   std::vector<EdgeId> offsets(n + 1);
   for (std::size_t v = 0; v < n; ++v) {
-    if (!(in >> offsets[v])) fail(path, "truncated offsets");
+    if (!(in >> offsets[v])) fail(ErrorCategory::kFormat, path,
+                                  "truncated offsets (vertex " +
+                                      std::to_string(v) + " of " +
+                                      std::to_string(n) + ")");
   }
   offsets[n] = m;
   std::vector<VertexId> targets(m);
   for (std::size_t e = 0; e < m; ++e) {
-    if (!(in >> targets[e])) fail(path, "truncated targets");
+    if (!(in >> targets[e])) fail(ErrorCategory::kFormat, path,
+                                  "truncated targets (edge " +
+                                      std::to_string(e) + " of " +
+                                      std::to_string(m) + ")");
   }
-  return Graph(std::move(offsets), std::move(targets));
+  if (std::string extra; in >> extra) {
+    fail(ErrorCategory::kFormat, path,
+         "trailing garbage after the last target: '" + extra + "'");
+  }
+  Graph g(std::move(offsets), std::move(targets));
+  Status s = g.validate();
+  if (!s.ok()) fail(s.category(), path, s.message());
+  return g;
 }
 
 void write_adj(const WeightedGraph<std::uint32_t>& g, const std::string& path) {
   std::ofstream out(path);
-  if (!out) fail(path, "cannot open for writing");
+  if (!out) fail(ErrorCategory::kIo, path, "cannot open for writing");
   out << "WeightedAdjacencyGraph\n"
       << g.num_vertices() << '\n'
       << g.num_edges() << '\n';
@@ -63,35 +152,48 @@ void write_adj(const WeightedGraph<std::uint32_t>& g, const std::string& path) {
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
     out << g.edge_weight(e) << '\n';
   }
-  if (!out) fail(path, "write error");
+  if (!out) fail(ErrorCategory::kIo, path, "write error");
 }
 
 WeightedGraph<std::uint32_t> read_weighted_adj(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail(path, "cannot open for reading");
+  if (!in) fail(ErrorCategory::kIo, path, "cannot open for reading");
   expect_header(in, path, "WeightedAdjacencyGraph");
   std::size_t n = 0, m = 0;
-  if (!(in >> n >> m)) fail(path, "bad n/m");
+  if (!(in >> n >> m)) fail(ErrorCategory::kFormat, path, "bad n/m");
+  guard_claimed_sizes(path, n, m,
+                      sizeof(EdgeId), sizeof(VertexId) + sizeof(std::uint32_t));
+  guard_text_plausibility(path, static_cast<std::uint64_t>(n) + 2 * m);
   std::vector<EdgeId> offsets(n + 1);
   for (std::size_t v = 0; v < n; ++v) {
-    if (!(in >> offsets[v])) fail(path, "truncated offsets");
+    if (!(in >> offsets[v])) fail(ErrorCategory::kFormat, path,
+                                  "truncated offsets");
   }
   offsets[n] = m;
   std::vector<VertexId> targets(m);
   for (std::size_t e = 0; e < m; ++e) {
-    if (!(in >> targets[e])) fail(path, "truncated targets");
+    if (!(in >> targets[e])) fail(ErrorCategory::kFormat, path,
+                                  "truncated targets");
   }
   std::vector<std::uint32_t> weights(m);
   for (std::size_t e = 0; e < m; ++e) {
-    if (!(in >> weights[e])) fail(path, "truncated weights");
+    if (!(in >> weights[e])) fail(ErrorCategory::kFormat, path,
+                                  "truncated weights");
   }
-  return WeightedGraph<std::uint32_t>(std::move(offsets), std::move(targets),
-                                      std::move(weights));
+  if (std::string extra; in >> extra) {
+    fail(ErrorCategory::kFormat, path,
+         "trailing garbage after the last weight: '" + extra + "'");
+  }
+  WeightedGraph<std::uint32_t> g(std::move(offsets), std::move(targets),
+                                 std::move(weights));
+  Status s = g.validate();
+  if (!s.ok()) fail(s.category(), path, s.message());
+  return g;
 }
 
 void write_bin(const Graph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) fail(path, "cannot open for writing");
+  if (!out) fail(ErrorCategory::kIo, path, "cannot open for writing");
   std::uint64_t n = g.num_vertices();
   std::uint64_t m = g.num_edges();
   std::uint64_t size_bytes = 3 * sizeof(std::uint64_t) +
@@ -104,12 +206,12 @@ void write_bin(const Graph& g, const std::string& path) {
             static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
   out.write(reinterpret_cast<const char*>(g.targets().data()),
             static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
-  if (!out) fail(path, "write error");
+  if (!out) fail(ErrorCategory::kIo, path, "write error");
 }
 
 void write_bin(const WeightedGraph<std::uint32_t>& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) fail(path, "cannot open for writing");
+  if (!out) fail(ErrorCategory::kIo, path, "cannot open for writing");
   std::uint64_t n = g.num_vertices();
   std::uint64_t m = g.num_edges();
   std::uint64_t size_bytes = 3 * sizeof(std::uint64_t) +
@@ -126,17 +228,25 @@ void write_bin(const WeightedGraph<std::uint32_t>& g, const std::string& path) {
     std::uint32_t w = g.edge_weight(e);
     out.write(reinterpret_cast<const char*>(&w), sizeof(w));
   }
-  if (!out) fail(path, "write error");
+  if (!out) fail(ErrorCategory::kIo, path, "write error");
 }
 
 WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open for reading");
+  if (!in) fail(ErrorCategory::kIo, path, "cannot open for reading");
   std::uint64_t n = 0, m = 0, size_bytes = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   in.read(reinterpret_cast<char*>(&size_bytes), sizeof(size_bytes));
-  if (!in) fail(path, "truncated header");
+  if (!in) fail(ErrorCategory::kFormat, path, "truncated header",
+                file_size_bytes(path));
+  guard_claimed_sizes(path, n, m,
+                      sizeof(std::uint64_t), 2 * sizeof(std::uint32_t));
+  unsigned __int128 expected =
+      3 * sizeof(std::uint64_t) +
+      (static_cast<unsigned __int128>(n) + 1) * sizeof(std::uint64_t) +
+      static_cast<unsigned __int128>(m) * 2 * sizeof(std::uint32_t);
+  guard_bin_frame(path, size_bytes, expected);
   std::vector<EdgeId> offsets(n + 1);
   std::vector<VertexId> targets(m);
   std::vector<std::uint32_t> weights(m);
@@ -146,27 +256,40 @@ WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path) {
           static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
   in.read(reinterpret_cast<char*>(weights.data()),
           static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
-  if (!in) fail(path, "truncated body");
-  return WeightedGraph<std::uint32_t>(std::move(offsets), std::move(targets),
-                                      std::move(weights));
+  if (!in) fail(ErrorCategory::kFormat, path, "truncated body");
+  WeightedGraph<std::uint32_t> g(std::move(offsets), std::move(targets),
+                                 std::move(weights));
+  Status s = g.validate();
+  if (!s.ok()) fail(s.category(), path, s.message());
+  return g;
 }
 
 Graph read_bin(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open for reading");
+  if (!in) fail(ErrorCategory::kIo, path, "cannot open for reading");
   std::uint64_t n = 0, m = 0, size_bytes = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   in.read(reinterpret_cast<char*>(&size_bytes), sizeof(size_bytes));
-  if (!in) fail(path, "truncated header");
+  if (!in) fail(ErrorCategory::kFormat, path, "truncated header",
+                file_size_bytes(path));
+  guard_claimed_sizes(path, n, m, sizeof(std::uint64_t), sizeof(std::uint32_t));
+  unsigned __int128 expected =
+      3 * sizeof(std::uint64_t) +
+      (static_cast<unsigned __int128>(n) + 1) * sizeof(std::uint64_t) +
+      static_cast<unsigned __int128>(m) * sizeof(std::uint32_t);
+  guard_bin_frame(path, size_bytes, expected);
   std::vector<EdgeId> offsets(n + 1);
   std::vector<VertexId> targets(m);
   in.read(reinterpret_cast<char*>(offsets.data()),
           static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
   in.read(reinterpret_cast<char*>(targets.data()),
           static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
-  if (!in) fail(path, "truncated body");
-  return Graph(std::move(offsets), std::move(targets));
+  if (!in) fail(ErrorCategory::kFormat, path, "truncated body");
+  Graph g(std::move(offsets), std::move(targets));
+  Status s = g.validate();
+  if (!s.ok()) fail(s.category(), path, s.message());
+  return g;
 }
 
 }  // namespace pasgal

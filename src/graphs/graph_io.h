@@ -6,6 +6,15 @@
 //  * `.bin`  — GBBS binary CSR format: three u64 header words
 //              (n, m, total size in bytes) followed by (n+1) u64 offsets and
 //              m u32 targets.
+//
+// Readers treat every byte as untrusted (see DESIGN.md "Error handling"):
+//  * header-claimed sizes are cross-checked against the actual file size and
+//    the process memory ceiling (pasgal/resource.h) before any allocation;
+//  * truncation and trailing garbage are rejected as kFormat errors;
+//  * the resulting CSR is run through validate_csr() (monotone offsets,
+//    offsets[n] == m, targets in bounds) before being returned.
+// All failures throw a typed pasgal::Error carrying the path and, where
+// meaningful, the byte offset of the violation.
 #pragma once
 
 #include <cstdint>

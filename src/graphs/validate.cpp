@@ -1,0 +1,69 @@
+// Parallel CSR invariant validation (declared in graphs/graph.h).
+//
+// Every algorithm in the library does unchecked offsets[v] / targets[e]
+// indexing, so a graph that gets past this check can be traversed without
+// bounds checks. Reported context is the *first* violating index, which for
+// file-loaded graphs names the corrupt record directly.
+#include <atomic>
+
+#include "graphs/graph.h"
+
+namespace pasgal {
+
+Status validate_csr(std::span<const EdgeId> offsets,
+                    std::span<const VertexId> targets) {
+  constexpr std::uint64_t kNone = static_cast<std::uint64_t>(-1);
+  if (offsets.empty()) {
+    if (targets.empty()) return Status::Ok();  // default-constructed Graph
+    return Status::Failure(ErrorCategory::kValidation,
+                           "empty offset array but " +
+                               std::to_string(targets.size()) + " targets");
+  }
+  std::size_t n = offsets.size() - 1;
+  std::size_t m = targets.size();
+  if (n > static_cast<std::size_t>(kInvalidVertex)) {
+    return Status::Failure(ErrorCategory::kValidation,
+                           "vertex count " + std::to_string(n) +
+                               " exceeds the 32-bit vertex-id space");
+  }
+  if (offsets[0] != 0) {
+    return Status::Failure(ErrorCategory::kValidation,
+                           "offsets[0] = " + std::to_string(offsets[0]) +
+                               ", expected 0");
+  }
+  if (offsets[n] != m) {
+    return Status::Failure(ErrorCategory::kValidation,
+                           "offsets[n] = " + std::to_string(offsets[n]) +
+                               " does not equal the edge count " +
+                               std::to_string(m));
+  }
+
+  std::atomic<std::uint64_t> first_bad{kNone};
+  parallel_for(0, n, [&](std::size_t v) {
+    if (offsets[v] > offsets[v + 1]) {
+      write_min(first_bad, static_cast<std::uint64_t>(v));
+    }
+  });
+  if (std::uint64_t v = first_bad.load(std::memory_order_relaxed); v != kNone) {
+    return Status::Failure(
+        ErrorCategory::kValidation,
+        "offsets are not monotone: offsets[" + std::to_string(v) + "] = " +
+            std::to_string(offsets[v]) + " > offsets[" + std::to_string(v + 1) +
+            "] = " + std::to_string(offsets[v + 1]));
+  }
+
+  first_bad.store(kNone, std::memory_order_relaxed);
+  parallel_for(0, m, [&](std::size_t e) {
+    if (targets[e] >= n) write_min(first_bad, static_cast<std::uint64_t>(e));
+  });
+  if (std::uint64_t e = first_bad.load(std::memory_order_relaxed); e != kNone) {
+    return Status::Failure(
+        ErrorCategory::kValidation,
+        "edge " + std::to_string(e) + " targets vertex " +
+            std::to_string(targets[e]) + " but the graph has only " +
+            std::to_string(n) + " vertices");
+  }
+  return Status::Ok();
+}
+
+}  // namespace pasgal

@@ -1,0 +1,145 @@
+// Structured error handling for every input-facing entry point.
+//
+// Two complementary vocabulary types:
+//  * `Error`  — an exception carrying a typed category plus the file/offset
+//               context of the failing input. Thrown by the I/O layer, the
+//               generators, and algorithm precondition checks.
+//  * `Status` — a value-type result for validation passes that want to report
+//               failure without unwinding (e.g. `Graph::validate()`,
+//               cycle detection in toposort). Convertible to an `Error` via
+//               `throw_if_error()`.
+//
+// Categories map to the uniform app exit codes (see exit_code() below):
+//   0 ok / 2 usage / 3 bad input (io, format, validation) / 4 resource.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pasgal {
+
+enum class ErrorCategory {
+  kIo,          // file missing / unreadable / short read / write failure
+  kFormat,      // file opened but its bytes don't parse as the claimed format
+  kValidation,  // parsed fine but violates a structural invariant (CSR
+                // monotonicity, target bounds, cycle in a DAG input, ...)
+  kResource,    // input would exceed a memory/capacity ceiling
+  kUsage,       // bad command-line flags or malformed generator spec syntax
+};
+
+inline const char* to_string(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kIo: return "io";
+    case ErrorCategory::kFormat: return "format";
+    case ErrorCategory::kValidation: return "validation";
+    case ErrorCategory::kResource: return "resource";
+    case ErrorCategory::kUsage: return "usage";
+  }
+  return "unknown";
+}
+
+// Uniform app-driver exit codes (documented in README "Error handling").
+inline int exit_code(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kUsage: return 2;
+    case ErrorCategory::kIo:
+    case ErrorCategory::kFormat:
+    case ErrorCategory::kValidation: return 3;
+    case ErrorCategory::kResource: return 4;
+  }
+  return 1;
+}
+
+inline constexpr std::uint64_t kNoOffset = static_cast<std::uint64_t>(-1);
+
+namespace internal {
+inline std::string format_error(ErrorCategory category,
+                                const std::string& message,
+                                const std::string& file, std::uint64_t offset) {
+  std::string out = "[";
+  out += to_string(category);
+  out += "] ";
+  if (!file.empty()) {
+    out += file;
+    if (offset != kNoOffset) {
+      out += " (byte ";
+      out += std::to_string(offset);
+      out += ")";
+    }
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+}  // namespace internal
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, std::string message, std::string file = {},
+        std::uint64_t offset = kNoOffset)
+      : std::runtime_error(
+            internal::format_error(category, message, file, offset)),
+        category_(category),
+        file_(std::move(file)),
+        offset_(offset) {}
+
+  ErrorCategory category() const { return category_; }
+  const std::string& file() const { return file_; }
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  ErrorCategory category_;
+  std::string file_;
+  std::uint64_t offset_;
+};
+
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status Ok() { return {}; }
+  static Status Failure(ErrorCategory category, std::string message,
+                        std::string file = {},
+                        std::uint64_t offset = kNoOffset) {
+    Status s;
+    s.error_ = std::make_shared<const Payload>(Payload{
+        category, std::move(message), std::move(file), offset});
+    return s;
+  }
+
+  bool ok() const { return error_ == nullptr; }
+  explicit operator bool() const { return ok(); }
+
+  // The accessors below require !ok().
+  ErrorCategory category() const { return error_->category; }
+  const std::string& message() const { return error_->message; }
+  const std::string& file() const { return error_->file; }
+  std::uint64_t offset() const { return error_->offset; }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return internal::format_error(error_->category, error_->message,
+                                  error_->file, error_->offset);
+  }
+
+  void throw_if_error() const {
+    if (!ok()) {
+      throw Error(error_->category, error_->message, error_->file,
+                  error_->offset);
+    }
+  }
+
+ private:
+  struct Payload {
+    ErrorCategory category;
+    std::string message;
+    std::string file;
+    std::uint64_t offset;
+  };
+  std::shared_ptr<const Payload> error_;  // null == ok
+};
+
+}  // namespace pasgal

@@ -24,6 +24,7 @@
 #include "parlay/hash_rng.h"
 #include "parlay/parallel.h"
 #include "parlay/primitives.h"
+#include "pasgal/error.h"
 
 namespace pasgal {
 
@@ -41,6 +42,11 @@ class HashBag {
   // Thread-safe. `x` must not equal the empty sentinel. Duplicate values are
   // fine: the probe start mixes in a per-thread nonce, so equal elements
   // spread across the block instead of fighting for one window.
+  //
+  // When every block up to `max_blocks` is full, insert throws a kResource
+  // pasgal::Error instead of spinning on the last block forever: on the
+  // final block the short probe window widens to a full sweep, and a sweep
+  // that finds no empty slot proves saturation.
   void insert(T x) {
     static thread_local std::uint64_t nonce = 0;
     std::uint64_t salt =
@@ -51,8 +57,10 @@ class HashBag {
       Block* blk = ensure_block(b);
       std::size_t cap = block_capacity(b);
       std::size_t start = (salt ^ hash64(b + (attempt << 8))) & (cap - 1);
-      // Probe a short window; long probes mean the block is crowded.
-      std::size_t window = kProbeWindow;
+      // Probe a short window; long probes mean the block is crowded. On the
+      // last block, probe every slot — there is nowhere left to spill.
+      bool last_block = (b + 1 == blocks_.size());
+      std::size_t window = last_block ? cap : kProbeWindow;
       for (std::size_t i = 0; i < window; ++i) {
         std::size_t slot = (start + i) & (cap - 1);
         T expected = kEmpty;
@@ -67,6 +75,15 @@ class HashBag {
           }
           return;
         }
+      }
+      if (last_block) {
+        throw Error(ErrorCategory::kResource,
+                    "HashBag saturated: all " +
+                        std::to_string(blocks_.size()) +
+                        " blocks full (total capacity " +
+                        std::to_string(total_capacity()) +
+                        "); construct with a larger first_block_log2 or "
+                        "max_blocks");
       }
       advance_current_block(b);
     }
@@ -138,6 +155,12 @@ class HashBag {
 
   std::size_t block_capacity(std::size_t b) const {
     return std::size_t{1} << (static_cast<std::size_t>(first_block_log2_) + b);
+  }
+
+  std::size_t total_capacity() const {
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) total += block_capacity(b);
+    return total;
   }
 
   Block* ensure_block(std::size_t b) {

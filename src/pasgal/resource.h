@@ -1,0 +1,68 @@
+// Memory ceiling for allocations whose size is dictated by untrusted input
+// (file headers, generator specs). A corrupt .bin header claiming n = 2^60
+// must be rejected *before* the reader tries to materialize a 2^63-byte
+// offsets array and takes the process down.
+//
+// The ceiling is resolved once per process:
+//   1. PASGAL_MEM_LIMIT_MB environment variable, if set to a positive integer;
+//   2. else MemAvailable (fallback MemTotal) from /proc/meminfo;
+//   3. else a conservative 4 GiB default (non-Linux / unreadable procfs).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "pasgal/error.h"
+
+namespace pasgal {
+
+namespace internal {
+
+inline std::uint64_t detect_memory_limit_bytes() {
+  if (const char* env = std::getenv("PASGAL_MEM_LIMIT_MB")) {
+    char* end = nullptr;
+    unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && mb > 0) {
+      return static_cast<std::uint64_t>(mb) * 1024 * 1024;
+    }
+  }
+  std::ifstream meminfo("/proc/meminfo");
+  std::uint64_t available_kb = 0, total_kb = 0;
+  std::string key;
+  std::uint64_t value = 0;
+  std::string unit;
+  while (meminfo >> key >> value) {
+    std::getline(meminfo, unit);  // consume " kB"
+    if (key == "MemAvailable:") available_kb = value;
+    if (key == "MemTotal:") total_kb = value;
+  }
+  std::uint64_t kb = available_kb != 0 ? available_kb : total_kb;
+  if (kb != 0) return kb * 1024;
+  return std::uint64_t{4} * 1024 * 1024 * 1024;
+}
+
+}  // namespace internal
+
+inline std::uint64_t memory_limit_bytes() {
+  static const std::uint64_t limit = internal::detect_memory_limit_bytes();
+  return limit;
+}
+
+// Status check that `bytes` (the total an input claims to need) fits under
+// the ceiling. `what` names the allocation for the diagnostic; `file` is the
+// input file driving it, if any.
+inline Status check_allocation(std::uint64_t bytes, const std::string& what,
+                               const std::string& file = {}) {
+  std::uint64_t limit = memory_limit_bytes();
+  if (bytes <= limit) return Status::Ok();
+  return Status::Failure(
+      ErrorCategory::kResource,
+      what + " needs " + std::to_string(bytes) + " bytes but the memory " +
+          "ceiling is " + std::to_string(limit) +
+          " bytes (override with PASGAL_MEM_LIMIT_MB)",
+      file);
+}
+
+}  // namespace pasgal

@@ -1,0 +1,261 @@
+// Corrupted-input corpus for the graph readers: every malformed file must be
+// rejected with a typed pasgal::Error in the right category — never a crash,
+// a hang, or a silently wrong graph. Mirrors the loader hardening GBBS ships
+// for the same reason: downstream algorithms do unchecked offsets[]/targets[]
+// indexing, so the reader is the trust boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <vector>
+
+#include "graphs/graph.h"
+#include "graphs/graph_io.h"
+#include "pasgal/error.h"
+#include "pasgal/resource.h"
+
+namespace pasgal {
+namespace {
+
+class GraphIoFuzzTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    auto dir = std::filesystem::temp_directory_path() / "pasgal_fuzz_test";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(std::filesystem::temp_directory_path() /
+                                "pasgal_fuzz_test");
+  }
+
+  void write_text(const std::string& path, const std::string& content) {
+    std::ofstream(path) << content;
+  }
+
+  std::vector<char> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void dump(const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // A small valid .bin to corrupt: 4-cycle, offsets [0,1,2,3,4].
+  std::string make_valid_bin(const std::string& name) {
+    std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+    Graph g = Graph::from_edges(4, edges);
+    auto path = temp_path(name);
+    write_bin(g, path);
+    return path;
+  }
+
+  void expect_rejected(const std::function<void()>& fn, ErrorCategory want) {
+    try {
+      fn();
+      ADD_FAILURE() << "corrupt input was accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), want) << e.what();
+      EXPECT_FALSE(std::string(e.what()).empty());
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception escaped the reader: " << e.what();
+    }
+  }
+};
+
+// --- .adj (text) corpus ------------------------------------------------------
+
+TEST_F(GraphIoFuzzTest, AdjTruncatedOffsets) {
+  auto path = temp_path("trunc_off.adj");
+  write_text(path, "AdjacencyGraph\n5\n10\n0\n1\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, AdjTruncatedTargets) {
+  auto path = temp_path("trunc_tgt.adj");
+  write_text(path, "AdjacencyGraph\n2\n3\n0\n1\n0\n1\n");  // 3 targets claimed, 2 present
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, AdjHeaderClaimsHugeN) {
+  auto path = temp_path("huge_n.adj");
+  // n = 2^60: the offsets array alone would need 2^63 bytes. Must be
+  // rejected by the memory ceiling before any allocation is attempted.
+  write_text(path, "AdjacencyGraph\n1152921504606846976\n4\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kResource);
+}
+
+TEST_F(GraphIoFuzzTest, AdjHeaderClaimsHugeM) {
+  auto path = temp_path("huge_m.adj");
+  write_text(path, "AdjacencyGraph\n4\n1152921504606846976\n0\n0\n0\n0\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kResource);
+}
+
+TEST_F(GraphIoFuzzTest, AdjNonMonotoneOffsets) {
+  auto path = temp_path("nonmono.adj");
+  // offsets[1] = 3 > offsets[2] = 1.
+  write_text(path, "AdjacencyGraph\n3\n4\n0\n3\n1\n0\n1\n2\n0\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, AdjFirstOffsetNonZero) {
+  auto path = temp_path("off0.adj");
+  write_text(path, "AdjacencyGraph\n2\n2\n1\n2\n0\n1\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, AdjOutOfBoundsTarget) {
+  auto path = temp_path("oob.adj");
+  // Target 99 in a 3-vertex graph.
+  write_text(path, "AdjacencyGraph\n3\n3\n0\n1\n2\n1\n99\n0\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, AdjTrailingGarbage) {
+  auto path = temp_path("trailing.adj");
+  write_text(path, "AdjacencyGraph\n2\n2\n0\n1\n1\n0\nEXTRA\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, AdjNonNumericField) {
+  auto path = temp_path("nonnum.adj");
+  write_text(path, "AdjacencyGraph\n2\n2\nzero\n1\n1\n0\n");
+  expect_rejected([&] { read_adj(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, WeightedAdjTruncatedWeights) {
+  auto path = temp_path("trunc_w.adj");
+  write_text(path, "WeightedAdjacencyGraph\n2\n2\n0\n1\n1\n0\n5\n");
+  expect_rejected([&] { read_weighted_adj(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, MissingFileIsIoError) {
+  expect_rejected([&] { read_adj(temp_path("nope.adj")); },
+                  ErrorCategory::kIo);
+  expect_rejected([&] { read_bin(temp_path("nope.bin")); },
+                  ErrorCategory::kIo);
+}
+
+// --- .bin (binary) corpus ----------------------------------------------------
+
+TEST_F(GraphIoFuzzTest, BinTruncatedHeader) {
+  auto path = temp_path("short.bin");
+  std::ofstream(path, std::ios::binary) << "short";
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kFormat);
+  expect_rejected([&] { read_weighted_bin(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, BinHeaderClaimsHugeN) {
+  auto path = temp_path("huge_n.bin");
+  std::uint64_t n = std::uint64_t{1} << 60, m = 4, size = 64;
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(&n), 8);
+  out.write(reinterpret_cast<const char*>(&m), 8);
+  out.write(reinterpret_cast<const char*>(&size), 8);
+  out.close();
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kResource);
+  expect_rejected([&] { read_weighted_bin(path); }, ErrorCategory::kResource);
+}
+
+TEST_F(GraphIoFuzzTest, BinSizeFieldMismatch) {
+  auto path = make_valid_bin("sizefield.bin");
+  auto bytes = slurp(path);
+  bytes[16] ^= 0x01;  // size_bytes field
+  dump(path, bytes);
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, BinTruncatedBody) {
+  auto path = make_valid_bin("truncbody.bin");
+  auto bytes = slurp(path);
+  bytes.resize(bytes.size() - 10);
+  dump(path, bytes);
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, BinTrailingGarbage) {
+  auto path = make_valid_bin("trailing.bin");
+  auto bytes = slurp(path);
+  bytes.push_back('x');
+  bytes.push_back('y');
+  dump(path, bytes);
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, BinNonMonotoneOffsets) {
+  auto path = make_valid_bin("nonmono.bin");
+  auto bytes = slurp(path);
+  // offsets[1] lives at byte 24 + 8; bump it above offsets[2] = 2.
+  std::uint64_t bad = 3;
+  std::memcpy(bytes.data() + 32, &bad, 8);
+  dump(path, bytes);
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, BinOutOfBoundsTarget) {
+  auto path = make_valid_bin("oob.bin");
+  auto bytes = slurp(path);
+  // targets start at 24 + 5*8 = 64; poison target[0].
+  std::uint32_t bad = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + 64, &bad, 4);
+  dump(path, bytes);
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, BinOffsetsEndMismatch) {
+  auto path = make_valid_bin("endoff.bin");
+  auto bytes = slurp(path);
+  // offsets[n] (byte 24 + 4*8 = 56) must equal m = 4.
+  std::uint64_t bad = 2;
+  std::memcpy(bytes.data() + 56, &bad, 8);
+  dump(path, bytes);
+  expect_rejected([&] { read_bin(path); }, ErrorCategory::kValidation);
+}
+
+// --- in-memory validation ----------------------------------------------------
+
+TEST_F(GraphIoFuzzTest, ValidateCatchesHandBuiltCorruption) {
+  // Well-formed.
+  Graph ok(std::vector<EdgeId>{0, 1, 2}, std::vector<VertexId>{1, 0});
+  EXPECT_TRUE(ok.validate().ok());
+
+  // Non-monotone offsets.
+  Graph bad1(std::vector<EdgeId>{0, 2, 1}, std::vector<VertexId>{1, 0});
+  Status s1 = bad1.validate();
+  ASSERT_FALSE(s1.ok());
+  EXPECT_EQ(s1.category(), ErrorCategory::kValidation);
+
+  // offsets[n] != m.
+  Graph bad2(std::vector<EdgeId>{0, 1, 3}, std::vector<VertexId>{1, 0});
+  ASSERT_FALSE(bad2.validate().ok());
+
+  // Target out of bounds.
+  Graph bad3(std::vector<EdgeId>{0, 1, 2}, std::vector<VertexId>{1, 7});
+  Status s3 = bad3.validate();
+  ASSERT_FALSE(s3.ok());
+  EXPECT_NE(s3.message().find("edge 1"), std::string::npos);
+
+  // Weight array shorter than the edge count.
+  WeightedGraph<std::uint32_t> wbad(std::vector<EdgeId>{0, 1, 2},
+                                    std::vector<VertexId>{1, 0},
+                                    std::vector<std::uint32_t>{5});
+  Status sw = wbad.validate();
+  ASSERT_FALSE(sw.ok());
+  EXPECT_EQ(sw.category(), ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, MemoryLimitIsFinite) {
+  // The ceiling must resolve to something real on this machine so the
+  // huge-header corpus above is actually enforced.
+  EXPECT_GT(memory_limit_bytes(), 0u);
+  EXPECT_LT(memory_limit_bytes(), std::uint64_t{1} << 50);
+}
+
+}  // namespace
+}  // namespace pasgal

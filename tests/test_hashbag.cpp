@@ -128,5 +128,46 @@ TEST_P(HashBagTest, InterleavedInsertSizeCalls) {
   }
 }
 
+TEST_P(HashBagTest, SaturationThrowsInsteadOfSpinning) {
+  // Regression: with every block full, insert used to spin forever probing
+  // the last block. A tiny bag (one block of 4 slots) must fill completely
+  // and then fail loudly with a kResource error.
+  HashBag<std::uint32_t> bag(/*first_block_log2=*/2, /*max_blocks=*/1);
+  for (std::uint32_t i = 0; i < 4; ++i) bag.insert(i);
+  EXPECT_EQ(bag.size(), 4u);
+  try {
+    bag.insert(99);
+    FAIL() << "insert into a saturated bag did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kResource);
+    EXPECT_NE(std::string(e.what()).find("saturated"), std::string::npos);
+  }
+  // The bag stays usable: extraction returns the four stored elements.
+  auto out = bag.extract_all();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST_P(HashBagTest, SaturationAcrossMultipleBlocks) {
+  // Two blocks (4 + 8 = 12 slots): more inserts than total capacity must
+  // terminate with an error, not hang, and everything stored is preserved.
+  HashBag<std::uint32_t> bag(/*first_block_log2=*/2, /*max_blocks=*/2);
+  std::size_t accepted = 0;
+  bool saturated = false;
+  for (std::uint32_t i = 0; i < 100 && !saturated; ++i) {
+    try {
+      bag.insert(i);
+      ++accepted;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kResource);
+      saturated = true;
+    }
+  }
+  EXPECT_TRUE(saturated);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LE(accepted, 12u);
+  EXPECT_EQ(bag.extract_all().size(), accepted);
+}
+
 }  // namespace
 }  // namespace pasgal

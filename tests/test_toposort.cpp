@@ -32,15 +32,18 @@ Graph random_dag(std::size_t n, std::size_t m, std::uint64_t seed) {
 TEST_P(ToposortTest, ParallelMatchesSequentialOnDags) {
   for (std::uint64_t seed : {1, 2, 3}) {
     Graph g = random_dag(1000, 5000, seed);
-    auto expected = seq_toposort(g);
+    std::vector<std::uint32_t> expected, levels;
+    ASSERT_TRUE(seq_toposort(g, expected).ok());
     ASSERT_FALSE(expected.empty());
-    EXPECT_EQ(pasgal_toposort(g), expected) << "seed=" << seed;
+    ASSERT_TRUE(pasgal_toposort(g, levels).ok());
+    EXPECT_EQ(levels, expected) << "seed=" << seed;
   }
 }
 
 TEST_P(ToposortTest, LevelsRespectEdges) {
   Graph g = random_dag(2000, 12000, 7);
-  auto levels = pasgal_toposort(g);
+  std::vector<std::uint32_t> levels;
+  ASSERT_TRUE(pasgal_toposort(g, levels).ok());
   ASSERT_FALSE(levels.empty());
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     for (VertexId v : g.neighbors(u)) {
@@ -53,7 +56,8 @@ TEST_P(ToposortTest, LevelsAreLongestPaths) {
   // Diamond with a long lower path: 0->1->2->3->9 and 0->9.
   std::vector<Edge> e = {{0, 1}, {1, 2}, {2, 3}, {3, 9}, {0, 9}};
   Graph g = Graph::from_edges(10, e);
-  auto levels = pasgal_toposort(g);
+  std::vector<std::uint32_t> levels;
+  ASSERT_TRUE(pasgal_toposort(g, levels).ok());
   ASSERT_FALSE(levels.empty());
   EXPECT_EQ(levels[9], 4u);  // the long path dominates
   EXPECT_EQ(levels[0], 0u);
@@ -61,18 +65,27 @@ TEST_P(ToposortTest, LevelsAreLongestPaths) {
 
 TEST_P(ToposortTest, CycleDetected) {
   Graph g = gen::cycle(10);
-  EXPECT_TRUE(seq_toposort(g).empty());
-  EXPECT_TRUE(pasgal_toposort(g).empty());
+  std::vector<std::uint32_t> levels;
+  Status s = seq_toposort(g, levels);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.category(), ErrorCategory::kValidation);
+  EXPECT_TRUE(levels.empty());
+  s = pasgal_toposort(g, levels);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.category(), ErrorCategory::kValidation);
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+  EXPECT_TRUE(levels.empty());
   // Partial cycle: DAG portion plus a 3-cycle.
   std::vector<Edge> e = {{0, 1}, {1, 2}, {2, 0}, {3, 4}};
   Graph h = Graph::from_edges(5, e);
-  EXPECT_TRUE(seq_toposort(h).empty());
-  EXPECT_TRUE(pasgal_toposort(h).empty());
+  EXPECT_FALSE(seq_toposort(h, levels).ok());
+  EXPECT_FALSE(pasgal_toposort(h, levels).ok());
 }
 
 TEST_P(ToposortTest, TopologicalOrderIsValid) {
   Graph g = random_dag(500, 2500, 11);
-  auto levels = pasgal_toposort(g);
+  std::vector<std::uint32_t> levels;
+  ASSERT_TRUE(pasgal_toposort(g, levels).ok());
   auto order = topological_order(levels);
   std::vector<std::size_t> position(g.num_vertices());
   for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
@@ -85,11 +98,14 @@ TEST_P(ToposortTest, TopologicalOrderIsValid) {
 
 TEST_P(ToposortTest, TauSweep) {
   Graph g = gen::chain(5000, /*directed=*/true);
-  auto expected = seq_toposort(g);
+  std::vector<std::uint32_t> expected;
+  ASSERT_TRUE(seq_toposort(g, expected).ok());
   for (std::uint32_t tau : {1u, 32u, 1024u}) {
     ToposortParams p;
     p.vgc.tau = tau;
-    EXPECT_EQ(pasgal_toposort(g, p), expected) << "tau=" << tau;
+    std::vector<std::uint32_t> levels;
+    ASSERT_TRUE(pasgal_toposort(g, levels, p).ok()) << "tau=" << tau;
+    EXPECT_EQ(levels, expected) << "tau=" << tau;
   }
 }
 
@@ -99,8 +115,9 @@ TEST(ToposortRounds, VgcCollapsesDeepChains) {
   RunStats no_vgc_stats, vgc_stats;
   ToposortParams no_vgc;
   no_vgc.vgc.tau = 1;
-  auto a = pasgal_toposort(g, no_vgc, &no_vgc_stats);
-  auto b = pasgal_toposort(g, {}, &vgc_stats);
+  std::vector<std::uint32_t> a, b;
+  ASSERT_TRUE(pasgal_toposort(g, a, no_vgc, &no_vgc_stats).ok());
+  ASSERT_TRUE(pasgal_toposort(g, b, {}, &vgc_stats).ok());
   EXPECT_EQ(a, b);
   EXPECT_LT(vgc_stats.rounds() * 10, no_vgc_stats.rounds());
 }
@@ -112,7 +129,9 @@ TEST_P(ToposortTest, CondensationIsAcyclicAndFaithful) {
     auto labels = normalize_scc_labels(pasgal_scc(g, gt));
     Condensation cond = scc_condensation(g, labels);
     // The condensation is a DAG.
-    EXPECT_FALSE(pasgal_toposort(cond.dag).empty()) << "seed=" << seed;
+    std::vector<std::uint32_t> levels;
+    EXPECT_TRUE(pasgal_toposort(cond.dag, levels).ok()) << "seed=" << seed;
+    EXPECT_FALSE(levels.empty()) << "seed=" << seed;
     // component_of respects labels.
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       EXPECT_EQ(cond.representative[cond.component_of[v]], labels[v]);
