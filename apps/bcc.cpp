@@ -2,68 +2,55 @@
 // The input graph is symmetrized automatically, as in the paper.
 //
 //   bcc <graph> [-a pasgal|gbbs|tv|seq] [-r repeats] [--validate]
+//       [--json-metrics <path>]
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
-#include <chrono>
-
 #include "algorithms/bcc/bcc.h"
 #include "common.h"
 
 using namespace pasgal;
 
 int main(int argc, char** argv) {
+  std::string algo = "pasgal";
+  cli::OptionSet opts;
+  cli::CommonOptions common;
+  opts.choice("-a", &algo, {"pasgal", "gbbs", "tv", "seq"});
+  common.declare(opts);
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <graph> [-a pasgal|gbbs|tv|seq] [-r repeats] "
-                 "[--validate]\n",
-                 argv[0]);
+    std::fprintf(stderr, "usage: %s <graph> %s\n", argv[0],
+                 opts.usage().c_str());
     return 2;
   }
   return apps::run_app([&]() {
-    std::string algo = "pasgal";
-    int repeats = 3;
-    bool validate = false;
-    apps::FlagParser flags(argc, argv, 2);
-    while (flags.next()) {
-      if (flags.flag() == "--validate") validate = true;
-      else if (flags.flag() == "-a") algo = flags.value();
-      else if (flags.flag() == "-r") {
-        repeats = static_cast<int>(
-            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
-      } else flags.unknown();
-    }
-    if (algo != "pasgal" && algo != "gbbs" && algo != "tv" && algo != "seq") {
-      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
-    }
+    opts.parse(argc, argv, 2);
 
-    Graph g = apps::load_graph(argv[1], validate).symmetrize();
+    Graph g = apps::load_graph(argv[1], common.validate).symmetrize();
     std::printf("graph (symmetrized): n=%zu m=%zu, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
 
-    for (int r = 0; r < repeats; ++r) {
-      RunStats stats;
-      BccResult result;
-      auto start = std::chrono::steady_clock::now();
-      if (algo == "pasgal") {
-        result = fast_bcc(g, &stats);
-      } else if (algo == "gbbs") {
-        result = gbbs_bcc(g, &stats);
-      } else if (algo == "tv") {
-        result = tarjan_vishkin_bcc(g, &stats);
-      } else {
-        result = hopcroft_tarjan_bcc(g, &stats);
-      }
-      double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count();
-      apps::print_stats(algo.c_str(), seconds, stats);
+    Tracer tracer;
+    AlgoOptions aopt;
+    aopt.validate = common.validate;
+    aopt.tracer = &tracer;
+
+    MetricsDoc doc("bcc", algo, argv[1], g.num_vertices(), g.num_edges());
+
+    for (long long r = 0; r < common.repeats; ++r) {
+      RunReport<BccResult> report = algo == "pasgal" ? fast_bcc(g, aopt)
+                                    : algo == "gbbs" ? gbbs_bcc(g, aopt)
+                                    : algo == "tv"   ? tarjan_vishkin_bcc(g, aopt)
+                                                     : hopcroft_tarjan_bcc(g, aopt);
+      apps::print_stats(algo.c_str(), report.seconds, tracer);
+      doc.add_trial(report.seconds, report.telemetry);
       if (r == 0) {
         std::printf("%zu biconnected components, %zu articulation points, "
                     "%zu bridges\n",
-                    result.num_bccs, articulation_points(g, result).size(),
-                    count_bridges(g, result));
+                    report.output.num_bccs,
+                    articulation_points(g, report.output).size(),
+                    count_bridges(g, report.output));
       }
     }
+    apps::finish_metrics(common, doc);
     return 0;
   });
 }

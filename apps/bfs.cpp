@@ -1,92 +1,76 @@
 // BFS driver (mirrors the upstream PASGAL per-algorithm executables).
 //
-//   bfs <graph> [-s source] [-a pasgal|gbbs|gapbs|seq] [-t tau] [-r rounds]
-//       [--validate]
+//   bfs <graph> [-s source] [-a pasgal|gbbs|gapbs|seq] [-t tau] [-r repeats]
+//       [--validate] [--json-metrics <path>]
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
-#include <chrono>
-
 #include "algorithms/bfs/bfs.h"
 #include "common.h"
 
 using namespace pasgal;
 
 int main(int argc, char** argv) {
+  std::string algo = "pasgal";
+  long long source = 0;
+  long long tau = 512;
+  cli::OptionSet opts;
+  cli::CommonOptions common;
+  opts.integer("-s", &source, 0, 0xFFFFFFFFLL, "source")
+      .choice("-a", &algo, {"pasgal", "gbbs", "gapbs", "seq"})
+      .integer("-t", &tau, 1, 0xFFFFFFFFLL, "tau");
+  common.declare(opts);
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <graph> [-s source] [-a pasgal|gbbs|gapbs|seq] "
-                 "[-t tau] [-r repeats] [--validate]\n",
-                 argv[0]);
+    std::fprintf(stderr, "usage: %s <graph> %s\n", argv[0],
+                 opts.usage().c_str());
     return 2;
   }
   return apps::run_app([&]() {
-    std::string algo = "pasgal";
-    VertexId source = 0;
-    std::uint32_t tau = 512;
-    int repeats = 3;
-    bool validate = false;
-    apps::FlagParser flags(argc, argv, 2);
-    while (flags.next()) {
-      if (flags.flag() == "--validate") validate = true;
-      else if (flags.flag() == "-s") {
-        source = static_cast<VertexId>(
-            apps::parse_flag_int("-s", flags.value(), 0, 0xFFFFFFFFLL));
-      } else if (flags.flag() == "-a") algo = flags.value();
-      else if (flags.flag() == "-t") {
-        tau = static_cast<std::uint32_t>(
-            apps::parse_flag_int("-t", flags.value(), 1, 0xFFFFFFFFLL));
-      } else if (flags.flag() == "-r") {
-        repeats = static_cast<int>(
-            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
-      } else flags.unknown();
-    }
-    if (algo != "pasgal" && algo != "gbbs" && algo != "gapbs" && algo != "seq") {
-      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
-    }
+    opts.parse(argc, argv, 2);
 
-    Graph g = apps::load_graph(argv[1], validate);
-    if (source >= g.num_vertices()) {
+    Graph g = apps::load_graph(argv[1], common.validate);
+    if (static_cast<std::size_t>(source) >= g.num_vertices()) {
       throw Error(ErrorCategory::kUsage,
                   "source vertex " + std::to_string(source) +
                       " out of range (graph has " +
                       std::to_string(g.num_vertices()) + " vertices)");
     }
     Graph gt = g.transpose();
-    std::printf("graph: n=%zu m=%zu, source=%u, algorithm=%s, workers=%d\n",
+    std::printf("graph: n=%zu m=%zu, source=%lld, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), source, algo.c_str(),
                 num_workers());
 
-    for (int r = 0; r < repeats; ++r) {
-      RunStats stats;
-      std::vector<std::uint32_t> dist;
-      auto start = std::chrono::steady_clock::now();
-      if (algo == "pasgal") {
-        PasgalBfsParams params;
-        params.vgc.tau = tau;
-        dist = pasgal_bfs(g, gt, source, params, &stats);
-      } else if (algo == "gbbs") {
-        dist = gbbs_bfs(g, gt, source, &stats);
-      } else if (algo == "gapbs") {
-        dist = gapbs_bfs(g, gt, source, {}, &stats);
-      } else {
-        dist = seq_bfs(g, source, &stats);
-      }
-      double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count();
-      std::uint64_t reached = 0, ecc = 0;
-      for (auto d : dist) {
-        if (d != kInfDist) {
-          ++reached;
-          ecc = std::max<std::uint64_t>(ecc, d);
-        }
-      }
-      apps::print_stats(algo.c_str(), seconds, stats);
+    Tracer tracer;
+    AlgoOptions aopt;
+    aopt.source = static_cast<VertexId>(source);
+    aopt.vgc.tau = static_cast<std::uint32_t>(tau);
+    aopt.validate = common.validate;
+    aopt.tracer = &tracer;
+
+    MetricsDoc doc("bfs", algo, argv[1], g.num_vertices(), g.num_edges());
+    doc.set_param("source", static_cast<std::uint64_t>(source));
+    doc.set_param("tau", static_cast<std::uint64_t>(tau));
+
+    for (long long r = 0; r < common.repeats; ++r) {
+      RunReport<std::vector<std::uint32_t>> report =
+          algo == "pasgal"  ? pasgal_bfs(g, gt, aopt)
+          : algo == "gbbs"  ? gbbs_bfs(g, gt, aopt)
+          : algo == "gapbs" ? gapbs_bfs(g, gt, aopt)
+                            : seq_bfs(g, aopt);
+      apps::print_stats(algo.c_str(), report.seconds, tracer);
+      doc.add_trial(report.seconds, report.telemetry);
       if (r == 0) {
+        std::uint64_t reached = 0, ecc = 0;
+        for (auto d : report.output) {
+          if (d != kInfDist) {
+            ++reached;
+            ecc = std::max<std::uint64_t>(ecc, d);
+          }
+        }
         std::printf("reached %llu vertices, eccentricity %llu\n",
                     (unsigned long long)reached, (unsigned long long)ecc);
       }
     }
+    apps::finish_metrics(common, doc);
     return 0;
   });
 }

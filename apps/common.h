@@ -2,14 +2,15 @@
 // the upstream PASGAL repository's layout (one executable per algorithm,
 // fed by a graph file in .adj or .bin format, or a generator spec).
 //
-// Every driver wraps its body in run_app(), which maps typed pasgal::Error
-// failures onto the uniform exit codes documented in README.md:
+// Flag parsing lives in the library (pasgal/cli.h) so all drivers declare
+// options once via cli::OptionSet; this header keeps the driver-only pieces:
+// graph loading from specs, stdout stat lines, metrics emission, and the
+// run_app() wrapper that maps typed pasgal::Error failures onto the uniform
+// exit codes documented in README.md:
 //   0 ok / 1 internal error / 2 usage / 3 bad input / 4 resource limit.
 #pragma once
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
@@ -17,98 +18,26 @@
 
 #include "graphs/generators.h"
 #include "graphs/graph_io.h"
+#include "pasgal/cli.h"
 #include "pasgal/error.h"
 #include "pasgal/resource.h"
 #include "pasgal/stats.h"
+#include "pasgal/telemetry.h"
 
 namespace pasgal::apps {
 
-// --- checked integer parsing -------------------------------------------------
-
-// Full-string strtoll with errno/endptr checks: "abc", "12abc", "" and
-// out-of-range values are all errors (the old parser silently mapped them
-// to 0, so `grid:abc:10` ran a degenerate grid instead of failing).
-inline long long parse_int(const std::string& text, const std::string& what,
-                           long long min_value, long long max_value,
-                           ErrorCategory category) {
-  errno = 0;
-  char* end = nullptr;
-  long long value = std::strtoll(text.c_str(), &end, 10);
-  if (text.empty() || end != text.c_str() + text.size()) {
-    throw Error(category, what + ": '" + text + "' is not an integer");
-  }
-  if (errno == ERANGE || value < min_value || value > max_value) {
-    throw Error(category, what + ": " + text + " is out of range [" +
-                              std::to_string(min_value) + ", " +
-                              std::to_string(max_value) + "]");
-  }
-  return value;
-}
-
-// Value of a command-line flag (usage errors, exit code 2).
-inline long long parse_flag_int(const std::string& flag, const char* value,
-                                long long min_value, long long max_value) {
-  return parse_int(value, "flag " + flag, min_value, max_value,
-                   ErrorCategory::kUsage);
-}
-
-// --- generator spec parsing --------------------------------------------------
+// Re-exported so existing driver/test code keeps compiling against
+// pasgal::apps::*; new code should include pasgal/cli.h directly.
+using cli::CommonOptions;
+using cli::FlagParser;
+using cli::OptionSet;
+using cli::parse_flag_int;
+using cli::parse_int;
 
 namespace internal {
 
-struct Spec {
-  std::string text;
-  std::string kind;
-  std::vector<std::string> fields;  // fields after the kind
-
-  // i is 1-based field position within the spec (kind is field 0).
-  long long required(std::size_t i, const char* what, long long min_value,
-                     long long max_value) const {
-    if (fields.size() < i || fields[i - 1].empty()) {
-      throw Error(ErrorCategory::kUsage,
-                  "spec '" + text + "': missing field <" + what + ">");
-    }
-    return parse_int(fields[i - 1], "spec '" + text + "' field <" +
-                                        std::string(what) + ">",
-                     min_value, max_value, ErrorCategory::kUsage);
-  }
-
-  long long optional(std::size_t i, const char* what, long long min_value,
-                     long long max_value, long long fallback) const {
-    if (fields.size() < i) return fallback;
-    return parse_int(fields[i - 1], "spec '" + text + "' field <" +
-                                        std::string(what) + ">",
-                     min_value, max_value, ErrorCategory::kUsage);
-  }
-
-  void expect_at_most(std::size_t count) const {
-    if (fields.size() > count) {
-      throw Error(ErrorCategory::kUsage,
-                  "spec '" + text + "': unexpected extra field '" +
-                      fields[count] + "'");
-    }
-  }
-};
-
-inline Spec split_spec(const std::string& spec) {
-  Spec out;
-  out.text = spec;
-  std::size_t start = 0;
-  bool first = true;
-  while (start <= spec.size()) {
-    std::size_t colon = spec.find(':', start);
-    if (colon == std::string::npos) colon = spec.size();
-    std::string part = spec.substr(start, colon - start);
-    if (first) {
-      out.kind = std::move(part);
-      first = false;
-    } else {
-      out.fields.push_back(std::move(part));
-    }
-    start = colon + 1;
-  }
-  return out;
-}
+using cli::Spec;
+using cli::split_spec;
 
 // Generators allocate an edge array before building the CSR; reject specs
 // whose edge count alone would blow the memory ceiling (same guard the file
@@ -238,6 +167,14 @@ inline void print_stats(const char* algo, double seconds, const RunStats& stats)
               (unsigned long long)stats.max_frontier());
 }
 
+// Emits the collected metrics document when --json-metrics was given.
+inline void finish_metrics(const CommonOptions& common, const MetricsDoc& doc) {
+  if (common.json_metrics.empty()) return;
+  write_metrics_json(common.json_metrics, doc).throw_if_error();
+  std::printf("metrics: wrote %s (%zu trials)\n", common.json_metrics.c_str(),
+              doc.num_trials());
+}
+
 // Uniform error-to-exit-code mapping for the app drivers. The body either
 // returns an exit code or throws; every throw is reported on stderr with its
 // category so scripts can match on "error [category] ...".
@@ -258,41 +195,5 @@ int run_app(Body&& body) {
     return 1;
   }
 }
-
-// Flag iteration: `-x value` pairs plus boolean switches (--validate).
-// Unknown flags and missing values are usage errors — previously they were
-// silently ignored, so `bfs g.adj -z 5` ran with defaults.
-class FlagParser {
- public:
-  FlagParser(int argc, char** argv, int first) : argc_(argc), argv_(argv),
-                                                 i_(first) {}
-
-  bool next() {
-    if (i_ >= argc_) return false;
-    flag_ = argv_[i_];
-    ++i_;
-    return true;
-  }
-
-  const std::string& flag() const { return flag_; }
-
-  const char* value() {
-    if (i_ >= argc_) {
-      throw Error(ErrorCategory::kUsage,
-                  "flag " + flag_ + " expects a value");
-    }
-    return argv_[i_++];
-  }
-
-  [[noreturn]] void unknown() const {
-    throw Error(ErrorCategory::kUsage, "unknown flag '" + flag_ + "'");
-  }
-
- private:
-  int argc_;
-  char** argv_;
-  int i_;
-  std::string flag_;
-};
 
 }  // namespace pasgal::apps

@@ -1,25 +1,28 @@
 // Generator utility: write a generated graph to .adj or .bin.
 //
-//   graph_gen <spec> <output.{adj,bin}> [--validate]
+//   graph_gen <spec> <output.{adj,bin}> [--validate] [--json-metrics <path>]
+//
+// The metrics document records one trial covering generation + write (no
+// rounds — generation has no frontier structure).
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
+#include <chrono>
+
 #include "common.h"
 
 using namespace pasgal;
 
 int main(int argc, char** argv) {
+  cli::OptionSet opts;
+  cli::CommonOptions common;
+  common.declare(opts);
   if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin}> [--validate]\n",
-                 argv[0]);
+    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin}> %s\n", argv[0],
+                 opts.usage().c_str());
     return 2;
   }
   return apps::run_app([&]() {
-    bool validate = false;
-    apps::FlagParser flags(argc, argv, 3);
-    while (flags.next()) {
-      if (flags.flag() == "--validate") validate = true;
-      else flags.unknown();
-    }
+    opts.parse(argc, argv, 3);
     std::string out = argv[2];
     auto ends_with = [&](const char* suffix) {
       std::size_t len = std::strlen(suffix);
@@ -30,14 +33,25 @@ int main(int argc, char** argv) {
       throw Error(ErrorCategory::kUsage,
                   "output path '" + out + "' must end in .adj or .bin");
     }
-    Graph g = apps::load_graph(argv[1], validate);
+    Tracer tracer;
+    auto start = std::chrono::steady_clock::now();
+    Graph g = apps::load_graph(argv[1], common.validate);
     if (ends_with(".bin")) {
       write_bin(g, out);
     } else {
       write_adj(g, out);
     }
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     std::printf("wrote %s: n=%zu m=%zu\n", out.c_str(), g.num_vertices(),
                 g.num_edges());
+
+    MetricsDoc doc("graph_gen", "gen", argv[1], g.num_vertices(),
+                   g.num_edges());
+    doc.set_param("output", out);
+    doc.add_trial(seconds, tracer.aggregate());
+    apps::finish_metrics(common, doc);
     return 0;
   });
 }

@@ -1,0 +1,88 @@
+// Schema validator for --json-metrics output.
+//
+//   metrics_check <metrics.json> [more.json ...]
+//
+// Parses each file and runs the telemetry schema check (required keys,
+// version, per-trial round-count consistency, monotone cumulative counters).
+// Accepts both a single "pasgal.metrics" document (driver --json-metrics
+// output) and the "pasgal.bench" envelope the table benches write
+// (BENCH_*.json: every entry in "runs" is validated individually).
+// Used by the `metrics_*` ctest targets and bench/check.sh; also handy for
+// validating files produced by external tooling.
+//
+// Exit codes: 0 ok / 2 usage / 3 parse or schema failure.
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+
+using namespace pasgal;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw Error(ErrorCategory::kIo, "cannot open metrics file", path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw Error(ErrorCategory::kIo, "read error", path);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <metrics.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  return apps::run_app([&]() {
+    for (int i = 1; i < argc; ++i) {
+      std::string text = read_file(argv[i]);
+      json::Value doc;
+      Status parsed = json::parse(text, doc);
+      if (!parsed.ok()) {
+        throw Error(ErrorCategory::kFormat,
+                    std::string(argv[i]) + ": " + parsed.message());
+      }
+      const json::Value* schema = doc.find("schema");
+      if (schema && schema->is_string() && schema->str == "pasgal.bench") {
+        const json::Value* runs = doc.find("runs");
+        if (!runs || !runs->is_array() || runs->array.empty()) {
+          throw Error(ErrorCategory::kFormat,
+                      std::string(argv[i]) +
+                          ": bench envelope has no 'runs' array");
+        }
+        for (std::size_t r = 0; r < runs->array.size(); ++r) {
+          Status valid = validate_metrics(runs->array[r]);
+          if (!valid.ok()) {
+            throw Error(ErrorCategory::kFormat,
+                        std::string(argv[i]) + ": runs[" + std::to_string(r) +
+                            "]: " + valid.message());
+          }
+        }
+        std::printf("%s: ok (schema pasgal.bench, %zu runs)\n", argv[i],
+                    runs->array.size());
+        continue;
+      }
+      Status valid = validate_metrics(doc);
+      if (!valid.ok()) {
+        throw Error(ErrorCategory::kFormat,
+                    std::string(argv[i]) + ": " + valid.message());
+      }
+      const json::Value* trials = doc.find("trials");
+      std::printf("%s: ok (schema %s v%d, %zu trials)\n", argv[i],
+                  kMetricsSchema, kMetricsVersion,
+                  trials ? trials->array.size() : 0);
+    }
+    return 0;
+  });
+}

@@ -1,10 +1,9 @@
 // SCC driver (mirrors the upstream PASGAL per-algorithm executables).
 //
 //   scc <graph> [-a pasgal|gbbs|multistep|seq] [-t tau] [-r repeats]
-//       [--validate]
+//       [--validate] [--json-metrics <path>]
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
-#include <chrono>
 #include <map>
 
 #include "algorithms/scc/scc.h"
@@ -13,68 +12,54 @@
 using namespace pasgal;
 
 int main(int argc, char** argv) {
+  std::string algo = "pasgal";
+  long long tau = 512;
+  cli::OptionSet opts;
+  cli::CommonOptions common;
+  opts.choice("-a", &algo, {"pasgal", "gbbs", "multistep", "seq"})
+      .integer("-t", &tau, 1, 0xFFFFFFFFLL, "tau");
+  common.declare(opts);
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <graph> [-a pasgal|gbbs|multistep|seq] [-t tau] "
-                 "[-r repeats] [--validate]\n",
-                 argv[0]);
+    std::fprintf(stderr, "usage: %s <graph> %s\n", argv[0],
+                 opts.usage().c_str());
     return 2;
   }
   return apps::run_app([&]() {
-    std::string algo = "pasgal";
-    std::uint32_t tau = 512;
-    int repeats = 3;
-    bool validate = false;
-    apps::FlagParser flags(argc, argv, 2);
-    while (flags.next()) {
-      if (flags.flag() == "--validate") validate = true;
-      else if (flags.flag() == "-a") algo = flags.value();
-      else if (flags.flag() == "-t") {
-        tau = static_cast<std::uint32_t>(
-            apps::parse_flag_int("-t", flags.value(), 1, 0xFFFFFFFFLL));
-      } else if (flags.flag() == "-r") {
-        repeats = static_cast<int>(
-            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
-      } else flags.unknown();
-    }
-    if (algo != "pasgal" && algo != "gbbs" && algo != "multistep" &&
-        algo != "seq") {
-      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
-    }
+    opts.parse(argc, argv, 2);
 
-    Graph g = apps::load_graph(argv[1], validate);
+    Graph g = apps::load_graph(argv[1], common.validate);
     Graph gt = g.transpose();
     std::printf("graph: n=%zu m=%zu, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
 
-    for (int r = 0; r < repeats; ++r) {
-      RunStats stats;
-      std::vector<SccLabel> labels;
-      auto start = std::chrono::steady_clock::now();
-      if (algo == "pasgal") {
-        SccParams params;
-        params.vgc.tau = tau;
-        labels = pasgal_scc(g, gt, params, &stats);
-      } else if (algo == "gbbs") {
-        labels = gbbs_scc(g, gt, {}, &stats);
-      } else if (algo == "multistep") {
-        labels = multistep_scc(g, gt, {}, &stats);
-      } else {
-        labels = tarjan_scc(g, &stats);
-      }
-      double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count();
-      apps::print_stats(algo.c_str(), seconds, stats);
+    Tracer tracer;
+    AlgoOptions aopt;
+    aopt.vgc.tau = static_cast<std::uint32_t>(tau);
+    aopt.validate = common.validate;
+    aopt.tracer = &tracer;
+
+    MetricsDoc doc("scc", algo, argv[1], g.num_vertices(), g.num_edges());
+    doc.set_param("tau", static_cast<std::uint64_t>(tau));
+
+    for (long long r = 0; r < common.repeats; ++r) {
+      RunReport<std::vector<SccLabel>> report =
+          algo == "pasgal"      ? pasgal_scc(g, gt, aopt)
+          : algo == "gbbs"      ? gbbs_scc(g, gt, aopt)
+          : algo == "multistep" ? multistep_scc(g, gt, aopt)
+                                : tarjan_scc(g, aopt);
+      apps::print_stats(algo.c_str(), report.seconds, tracer);
+      doc.add_trial(report.seconds, report.telemetry);
       if (r == 0) {
-        auto norm = normalize_scc_labels(labels);
+        auto norm = normalize_scc_labels(report.output);
         std::map<VertexId, std::size_t> sizes;
         for (auto l : norm) ++sizes[l];
         std::size_t giant = 0;
         for (auto& [l, s] : sizes) giant = std::max(giant, s);
-        std::printf("%zu SCCs, largest has %zu vertices\n", sizes.size(), giant);
+        std::printf("%zu SCCs, largest has %zu vertices\n", sizes.size(),
+                    giant);
       }
     }
+    apps::finish_metrics(common, doc);
     return 0;
   });
 }

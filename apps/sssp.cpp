@@ -1,86 +1,75 @@
 // SSSP driver (mirrors the upstream PASGAL per-algorithm executables).
 // Weights are attached deterministically (uniform in [1, max_weight]).
 //
-//   sssp <graph> [-s source] [-a rho|delta|bf|seq] [-w max_weight]
-//        [-d delta] [-r repeats] [--validate]
+//   sssp <graph> [-s source] [-a rho|delta|bf|seq] [-w max_weight] [-d delta]
+//        [-t tau] [-r repeats] [--validate] [--json-metrics <path>]
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
-#include <chrono>
-
 #include "algorithms/sssp/sssp.h"
 #include "common.h"
 
 using namespace pasgal;
 
 int main(int argc, char** argv) {
+  std::string algo = "rho";
+  long long source = 0;
+  long long max_weight = 100;
+  long long delta = 32;
+  long long tau = 512;
+  cli::OptionSet opts;
+  cli::CommonOptions common;
+  opts.integer("-s", &source, 0, 0xFFFFFFFFLL, "source")
+      .choice("-a", &algo, {"rho", "delta", "bf", "seq"})
+      .integer("-w", &max_weight, 1, 0xFFFFFFFFLL, "max_weight")
+      .integer("-d", &delta, 1, 1LL << 40, "delta")
+      .integer("-t", &tau, 1, 0xFFFFFFFFLL, "tau");
+  common.declare(opts);
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <graph> [-s source] [-a rho|delta|bf|seq] "
-                 "[-w max_weight] [-d delta] [-r repeats] [--validate]\n",
-                 argv[0]);
+    std::fprintf(stderr, "usage: %s <graph> %s\n", argv[0],
+                 opts.usage().c_str());
     return 2;
   }
   return apps::run_app([&]() {
-    std::string algo = "rho";
-    VertexId source = 0;
-    std::uint32_t max_weight = 100;
-    Dist delta = 32;
-    int repeats = 3;
-    bool validate = false;
-    apps::FlagParser flags(argc, argv, 2);
-    while (flags.next()) {
-      if (flags.flag() == "--validate") validate = true;
-      else if (flags.flag() == "-s") {
-        source = static_cast<VertexId>(
-            apps::parse_flag_int("-s", flags.value(), 0, 0xFFFFFFFFLL));
-      } else if (flags.flag() == "-a") algo = flags.value();
-      else if (flags.flag() == "-w") {
-        max_weight = static_cast<std::uint32_t>(
-            apps::parse_flag_int("-w", flags.value(), 1, 0xFFFFFFFFLL));
-      } else if (flags.flag() == "-d") {
-        delta = static_cast<Dist>(
-            apps::parse_flag_int("-d", flags.value(), 1, 1LL << 40));
-      } else if (flags.flag() == "-r") {
-        repeats = static_cast<int>(
-            apps::parse_flag_int("-r", flags.value(), 1, 1000000));
-      } else flags.unknown();
-    }
-    if (algo != "rho" && algo != "delta" && algo != "bf" && algo != "seq") {
-      throw Error(ErrorCategory::kUsage, "unknown algorithm '" + algo + "'");
-    }
+    opts.parse(argc, argv, 2);
 
-    auto g = gen::add_weights(apps::load_graph(argv[1], validate), max_weight);
-    if (source >= g.num_vertices()) {
+    auto g = gen::add_weights(apps::load_graph(argv[1], common.validate),
+                              static_cast<std::uint32_t>(max_weight));
+    if (static_cast<std::size_t>(source) >= g.num_vertices()) {
       throw Error(ErrorCategory::kUsage,
                   "source vertex " + std::to_string(source) +
                       " out of range (graph has " +
                       std::to_string(g.num_vertices()) + " vertices)");
     }
-    std::printf("graph: n=%zu m=%zu, source=%u, algorithm=%s, workers=%d\n",
+    std::printf("graph: n=%zu m=%zu, source=%lld, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), source, algo.c_str(),
                 num_workers());
 
-    for (int r = 0; r < repeats; ++r) {
-      RunStats stats;
-      std::vector<Dist> dist;
-      auto start = std::chrono::steady_clock::now();
-      if (algo == "rho") {
-        dist = rho_stepping(g, source, &stats);
-      } else if (algo == "delta") {
-        dist = delta_stepping(g, source, delta, &stats);
-      } else if (algo == "bf") {
-        dist = bellman_ford(g, source, &stats);
-      } else {
-        dist = dijkstra(g, source, &stats);
-      }
-      double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count();
-      apps::print_stats(algo.c_str(), seconds, stats);
+    Tracer tracer;
+    AlgoOptions aopt;
+    aopt.source = static_cast<VertexId>(source);
+    aopt.vgc.tau = static_cast<std::uint32_t>(tau);
+    aopt.sssp_delta_mode = algo == "delta";
+    aopt.sssp_delta = static_cast<std::uint64_t>(delta);
+    aopt.validate = common.validate;
+    aopt.tracer = &tracer;
+
+    MetricsDoc doc("sssp", algo, argv[1], g.num_vertices(), g.num_edges());
+    doc.set_param("source", static_cast<std::uint64_t>(source));
+    doc.set_param("max_weight", static_cast<std::uint64_t>(max_weight));
+    doc.set_param("delta", static_cast<std::uint64_t>(delta));
+    doc.set_param("tau", static_cast<std::uint64_t>(tau));
+
+    for (long long r = 0; r < common.repeats; ++r) {
+      RunReport<std::vector<Dist>> report =
+          algo == "rho" || algo == "delta" ? stepping_sssp(g, aopt)
+          : algo == "bf"                   ? bellman_ford(g, aopt)
+                                           : dijkstra(g, aopt);
+      apps::print_stats(algo.c_str(), report.seconds, tracer);
+      doc.add_trial(report.seconds, report.telemetry);
       if (r == 0) {
         std::uint64_t reached = 0;
         Dist far = 0;
-        for (auto d : dist) {
+        for (auto d : report.output) {
           if (d != kInfWeightDist) {
             ++reached;
             far = std::max(far, d);
@@ -90,6 +79,7 @@ int main(int argc, char** argv) {
                     (unsigned long long)reached, (unsigned long long)far);
       }
     }
+    apps::finish_metrics(common, doc);
     return 0;
   });
 }

@@ -2,7 +2,8 @@
 // spanning tree) vs Tarjan-Vishkin vs sequential Hopcroft-Tarjan) plus
 // rounds, projected speedups, and the auxiliary-space comparison that makes
 // Tarjan-Vishkin "o.o.m." in the paper. Graphs are symmetrized, as in the
-// paper ("we symmetrize directed graphs for testing BCC").
+// paper ("we symmetrize directed graphs for testing BCC"). Per-run telemetry
+// (including FAST-BCC's phase breakdown) lands in BENCH_bcc.json.
 #include <cstdio>
 
 #include "algorithms/bcc/bcc.h"
@@ -16,36 +17,49 @@ int main() {
   Table rounds({"PASGAL", "GBBS", "Tarjan-Vishkin"});
   Table speedup96({"PASGAL", "GBBS", "Tarjan-Vishkin"});
   Table aux_nodes({"PASGAL(skeleton n)", "TV(aux nodes m/2)"});
+  BenchJson metrics("bcc");
 
   for (const auto& spec : graph_suite()) {
     Graph g0 = spec.build();
     Graph g = spec.directed ? g0.symmetrize() : g0;
 
-    RunStats seq_stats, fast_stats, gbbs_stats, tv_stats;
-    BccResult ref, r1, r2, r3;
-    double t_seq = time_seconds([&] { ref = hopcroft_tarjan_bcc(g, &seq_stats); });
-    double t_fast = time_seconds([&] { r1 = fast_bcc(g, &fast_stats); });
-    double t_gbbs = time_seconds([&] { r2 = gbbs_bcc(g, &gbbs_stats); });
-    double t_tv = time_seconds([&] { r3 = tarjan_vishkin_bcc(g, &tv_stats); });
+    AlgoOptions opt;
+    auto seq = hopcroft_tarjan_bcc(g, opt);
+    auto fast = fast_bcc(g, opt);
+    auto gbbs = gbbs_bcc(g, opt);
+    auto tv = tarjan_vishkin_bcc(g, opt);
 
-    auto want = normalize_bcc_labels(ref.edge_label);
-    if (normalize_bcc_labels(r1.edge_label) != want ||
-        normalize_bcc_labels(r2.edge_label) != want ||
-        normalize_bcc_labels(r3.edge_label) != want) {
+    auto want = normalize_bcc_labels(seq.output.edge_label);
+    if (normalize_bcc_labels(fast.output.edge_label) != want ||
+        normalize_bcc_labels(gbbs.output.edge_label) != want ||
+        normalize_bcc_labels(tv.output.edge_label) != want) {
       std::fprintf(stderr, "BCC MISMATCH on %s\n", spec.name.c_str());
       return 1;
     }
 
-    times.add_row(spec.cls, spec.name, {t_fast, t_gbbs, t_tv, t_seq});
+    auto record = [&](const char* variant, const auto& report) {
+      MetricsDoc doc("bcc", variant, spec.name, g.num_vertices(),
+                     g.num_edges());
+      doc.add_trial(report.seconds, report.telemetry);
+      metrics.add(doc);
+    };
+    record("seq", seq);
+    record("pasgal", fast);
+    record("gbbs", gbbs);
+    record("tv", tv);
+
+    times.add_row(spec.cls, spec.name,
+                  {fast.seconds, gbbs.seconds, tv.seconds, seq.seconds});
     rounds.add_row(spec.cls, spec.name,
-                   {double(fast_stats.rounds()), double(gbbs_stats.rounds()),
-                    double(tv_stats.rounds())});
-    Projection proj = calibrate(t_seq, seq_stats);
-    double seq_ns = t_seq * 1e9;
+                   {double(fast.telemetry.rounds.size()),
+                    double(gbbs.telemetry.rounds.size()),
+                    double(tv.telemetry.rounds.size())});
+    Projection proj = calibrate(seq.seconds, seq.telemetry);
+    double seq_ns = seq.seconds * 1e9;
     speedup96.add_row(spec.cls, spec.name,
-                      {proj.speedup_at(96, fast_stats, seq_ns),
-                       proj.speedup_at(96, gbbs_stats, seq_ns),
-                       proj.speedup_at(96, tv_stats, seq_ns)});
+                      {proj.speedup_at(96, fast.telemetry, seq_ns),
+                       proj.speedup_at(96, gbbs.telemetry, seq_ns),
+                       proj.speedup_at(96, tv.telemetry, seq_ns)});
     // Auxiliary structure sizes: FAST-BCC's skeleton has at most n vertices;
     // Tarjan-Vishkin materializes one auxiliary node per undirected edge.
     aux_nodes.add_row(spec.cls, spec.name,
@@ -61,5 +75,5 @@ int main() {
   aux_nodes.print(
       "BCC auxiliary-graph size (the paper's o.o.m. column for TV)",
       "node count; TV is O(m), FAST-BCC is O(n)");
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

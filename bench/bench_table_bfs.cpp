@@ -1,7 +1,8 @@
 // Reproduces Table A4 (BFS running times: PASGAL vs GBBS vs GAPBS vs the
 // sequential queue baseline) plus the round-count and projected-speedup views
 // that substantiate the paper's shape claims on this 1-core substrate
-// (see DESIGN.md §2 for the substitution rationale).
+// (see DESIGN.md §2 for the substitution rationale). Every run's full
+// telemetry (per-round traces, scheduler counters) lands in BENCH_bfs.json.
 #include <cstdio>
 
 #include "suite.h"
@@ -25,6 +26,7 @@ int main() {
   Table times({"PASGAL", "GBBS", "GAPBS", "Queue*"});
   Table rounds({"PASGAL", "GBBS", "GAPBS"});
   Table speedup96({"PASGAL", "GBBS", "GAPBS"});
+  BenchJson metrics("bfs");
 
   for (const auto& spec : graph_suite()) {
     Graph g = spec.build();
@@ -32,31 +34,42 @@ int main() {
     const Graph& gt_ref = spec.directed ? gt : g;
     VertexId source = max_degree_vertex(g);
 
-    RunStats seq_stats, pasgal_stats, gbbs_stats, gapbs_stats;
-    std::vector<std::uint32_t> ref;
-    double t_seq = time_seconds([&] { ref = seq_bfs(g, source, &seq_stats); });
-    std::vector<std::uint32_t> d1, d2, d3;
-    double t_pasgal =
-        time_seconds([&] { d1 = pasgal_bfs(g, gt_ref, source, {}, &pasgal_stats); });
-    double t_gbbs =
-        time_seconds([&] { d2 = gbbs_bfs(g, gt_ref, source, &gbbs_stats); });
-    double t_gapbs =
-        time_seconds([&] { d3 = gapbs_bfs(g, gt_ref, source, {}, &gapbs_stats); });
-    if (d1 != ref || d2 != ref || d3 != ref) {
+    AlgoOptions opt;
+    opt.source = source;
+    auto seq = seq_bfs(g, opt);
+    auto pasgal = pasgal_bfs(g, gt_ref, opt);
+    auto gbbs = gbbs_bfs(g, gt_ref, opt);
+    auto gapbs = gapbs_bfs(g, gt_ref, opt);
+    if (pasgal.output != seq.output || gbbs.output != seq.output ||
+        gapbs.output != seq.output) {
       std::fprintf(stderr, "BFS MISMATCH on %s\n", spec.name.c_str());
       return 1;
     }
 
-    times.add_row(spec.cls, spec.name, {t_pasgal, t_gbbs, t_gapbs, t_seq});
+    auto record = [&](const char* variant, const auto& report) {
+      MetricsDoc doc("bfs", variant, spec.name, g.num_vertices(),
+                     g.num_edges());
+      doc.set_param("source", std::uint64_t{source});
+      doc.add_trial(report.seconds, report.telemetry);
+      metrics.add(doc);
+    };
+    record("seq", seq);
+    record("pasgal", pasgal);
+    record("gbbs", gbbs);
+    record("gapbs", gapbs);
+
+    times.add_row(spec.cls, spec.name,
+                  {pasgal.seconds, gbbs.seconds, gapbs.seconds, seq.seconds});
     rounds.add_row(spec.cls, spec.name,
-                   {double(pasgal_stats.rounds()), double(gbbs_stats.rounds()),
-                    double(gapbs_stats.rounds())});
-    Projection proj = calibrate(t_seq, seq_stats);
-    double seq_ns = t_seq * 1e9;
+                   {double(pasgal.telemetry.rounds.size()),
+                    double(gbbs.telemetry.rounds.size()),
+                    double(gapbs.telemetry.rounds.size())});
+    Projection proj = calibrate(seq.seconds, seq.telemetry);
+    double seq_ns = seq.seconds * 1e9;
     speedup96.add_row(spec.cls, spec.name,
-                      {proj.speedup_at(96, pasgal_stats, seq_ns),
-                       proj.speedup_at(96, gbbs_stats, seq_ns),
-                       proj.speedup_at(96, gapbs_stats, seq_ns)});
+                      {proj.speedup_at(96, pasgal.telemetry, seq_ns),
+                       proj.speedup_at(96, gbbs.telemetry, seq_ns),
+                       proj.speedup_at(96, gapbs.telemetry, seq_ns)});
     std::fflush(stdout);
   }
 
@@ -65,5 +78,5 @@ int main() {
   speedup96.print(
       "BFS projected speedup over sequential at P=96 (cost model, DESIGN.md)",
       "speedup; <1 means slower than sequential");
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

@@ -22,15 +22,19 @@ echo "--- sanitized input-hardening tests ---"
 (cd "$prefix-san" && ctest --output-on-failure -j "$(nproc)" \
     -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|app_exit_')
 
-echo "--- sanitized app drivers (success paths) ---"
+echo "--- sanitized app drivers (success paths, with metrics emission) ---"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 "$prefix-san/apps/graph_gen" chain:2000 "$tmp/chain.adj" --validate
 "$prefix-san/apps/graph_gen" grid:40:40 "$tmp/grid.bin" --validate
-"$prefix-san/apps/bfs"  "$tmp/chain.adj" --validate -r 1 > /dev/null
-"$prefix-san/apps/sssp" "$tmp/grid.bin" --validate -a delta -r 1 > /dev/null
-"$prefix-san/apps/scc"  road:30:30 -r 1 > /dev/null
-"$prefix-san/apps/bcc"  grid:30:30 -r 1 > /dev/null
+"$prefix-san/apps/bfs"  "$tmp/chain.adj" --validate -r 1 --json-metrics "$tmp/bfs.json" > /dev/null
+"$prefix-san/apps/sssp" "$tmp/grid.bin" --validate -a delta -r 1 --json-metrics "$tmp/sssp.json" > /dev/null
+"$prefix-san/apps/scc"  road:30:30 -r 1 --json-metrics "$tmp/scc.json" > /dev/null
+"$prefix-san/apps/bcc"  grid:30:30 -r 1 --json-metrics "$tmp/bcc.json" > /dev/null
+
+echo "--- metrics schema gate (drivers + bench envelope) ---"
+"$prefix-san/apps/metrics_check" "$tmp"/bfs.json "$tmp"/sssp.json \
+    "$tmp"/scc.json "$tmp"/bcc.json
 
 echo "--- sanitized app drivers (failure paths must exit cleanly) ---"
 expect() { want="$1"; shift

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <string>
@@ -99,13 +100,9 @@ struct Projection {
   double c_work_ns = 1.0;
   double c_sync_ns = 5000.0;
 
-  double time_at(int p, const RunStats& stats) const {
-    double work = static_cast<double>(stats.edges_scanned() +
-                                      stats.vertices_visited());
-    double rounds = static_cast<double>(stats.rounds());
-    double avg_frontier = rounds > 0
-        ? static_cast<double>(stats.vertices_visited()) / rounds
-        : 1.0;
+  double time_from(int p, double edges, double visits, double rounds) const {
+    double work = edges + visits;
+    double avg_frontier = rounds > 0 ? visits / rounds : 1.0;
     double usable = std::min<double>(p, std::max(1.0, avg_frontier));
     double compute = work * c_work_ns / usable;
     double sync = p <= 1 ? 0.0
@@ -113,20 +110,92 @@ struct Projection {
     return compute + sync;
   }
 
+  double time_at(int p, const RunStats& stats) const {
+    return time_from(p, double(stats.edges_scanned()),
+                     double(stats.vertices_visited()), double(stats.rounds()));
+  }
+
+  double time_at(int p, const RunTelemetry& t) const {
+    return time_from(p, double(t.edges_scanned), double(t.vertices_visited),
+                     double(t.rounds.size()));
+  }
+
   double speedup_at(int p, const RunStats& stats, double seq_time_ns) const {
     return seq_time_ns / time_at(p, stats);
+  }
+
+  double speedup_at(int p, const RunTelemetry& t, double seq_time_ns) const {
+    return seq_time_ns / time_at(p, t);
   }
 };
 
 // Calibrate c_work so that the sequential baseline's modeled time matches
 // its measured time.
-inline Projection calibrate(double seq_seconds, const RunStats& seq_stats) {
+inline Projection calibrate_from(double seq_seconds, double work) {
   Projection proj;
-  double work = static_cast<double>(seq_stats.edges_scanned() +
-                                    seq_stats.vertices_visited());
   if (work > 0) proj.c_work_ns = seq_seconds * 1e9 / work;
   return proj;
 }
+
+inline Projection calibrate(double seq_seconds, const RunStats& seq_stats) {
+  return calibrate_from(seq_seconds,
+                        double(seq_stats.edges_scanned() +
+                               seq_stats.vertices_visited()));
+}
+
+inline Projection calibrate(double seq_seconds, const RunTelemetry& t) {
+  return calibrate_from(seq_seconds,
+                        double(t.edges_scanned + t.vertices_visited));
+}
+
+// --- machine-readable results (BENCH_<name>.json) ----------------------------
+//
+// Each table bench accumulates one metrics document per (variant, graph) run
+// — the same schema the drivers emit via --json-metrics, so the per-round
+// traces land in version control alongside the printed tables. The envelope
+// is {"schema": "pasgal.bench", "runs": [<pasgal.metrics docs>...]};
+// `metrics_check` validates both formats.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const MetricsDoc& doc) { runs_.push_back(doc.to_json()); }
+
+  // Writes BENCH_<bench>.json into $PASGAL_BENCH_DIR (or the cwd) and
+  // reports the path; benches treat failure as fatal so CI notices.
+  bool write() const {
+    const char* dir = std::getenv("PASGAL_BENCH_DIR");
+    std::string path =
+        (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+        bench_ + ".json";
+    std::string out = "{\"schema\": \"pasgal.bench\", \"version\": 1, "
+                      "\"bench\": \"" + json::escape(bench_) + "\", "
+                      "\"runs\": [\n";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      std::string run = runs_[i];
+      while (!run.empty() && (run.back() == '\n' || run.back() == ' ')) {
+        run.pop_back();
+      }
+      out += run;
+      out += i + 1 < runs_.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    ok = std::fclose(f) == 0 && ok;
+    std::printf("bench metrics: wrote %s (%zu runs)\n", path.c_str(),
+                runs_.size());
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> runs_;
+};
 
 // --- table printing ---------------------------------------------------------
 

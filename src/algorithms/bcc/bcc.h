@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 
 namespace pasgal {
@@ -39,6 +40,14 @@ BccResult tarjan_vishkin_bcc(const Graph& g, RunStats* stats = nullptr);
 // the level-synchronous BFS costs O(D) rounds, which is what the paper's
 // BCC comparison penalizes on large-diameter graphs.
 BccResult gbbs_bcc(const Graph& g, RunStats* stats = nullptr);
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+RunReport<BccResult> hopcroft_tarjan_bcc(const Graph& g,
+                                         const AlgoOptions& opt);
+RunReport<BccResult> fast_bcc(const Graph& g, const AlgoOptions& opt);
+RunReport<BccResult> tarjan_vishkin_bcc(const Graph& g,
+                                        const AlgoOptions& opt);
+RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt);
 
 // Canonical form for comparing partitions across algorithms: each edge is
 // relabeled with the smallest directed-edge slot in its component.

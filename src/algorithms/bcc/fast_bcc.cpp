@@ -86,8 +86,15 @@ BccResult bcc_from_prep(const Graph& g, const BccPrep& prep, RunStats* stats) {
 
 BccResult fast_bcc(const Graph& g, RunStats* stats) {
   if (g.num_vertices() == 0) return {};
-  internal::BccPrep prep = internal::bcc_preprocess(g, stats);
-  return internal::bcc_from_prep(g, prep, stats);
+  if (stats) stats->phase_begin("spanning_forest");
+  ConnectivityResult cc = connected_components(g, stats);
+  if (stats) stats->phase_begin("euler_tour");
+  internal::BccPrep prep =
+      internal::bcc_preprocess_from_forest(g, cc.forest, cc.label, stats);
+  if (stats) stats->phase_begin("skeleton");
+  BccResult result = internal::bcc_from_prep(g, prep, stats);
+  if (stats) stats->phase_end();
+  return result;
 }
 
 }  // namespace pasgal

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
@@ -56,5 +57,18 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
                                       VertexId source,
                                       PasgalBfsParams params = {},
                                       RunStats* stats = nullptr);
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+// Source, tuning knobs and tracer come from AlgoOptions; the result bundles
+// the distances with wall time and the run's aggregated telemetry.
+RunReport<std::vector<std::uint32_t>> seq_bfs(const Graph& g,
+                                              const AlgoOptions& opt);
+RunReport<std::vector<std::uint32_t>> gbbs_bfs(const Graph& g, const Graph& gt,
+                                               const AlgoOptions& opt);
+RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
+                                                const AlgoOptions& opt);
+RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
+                                                 const Graph& gt,
+                                                 const AlgoOptions& opt);
 
 }  // namespace pasgal

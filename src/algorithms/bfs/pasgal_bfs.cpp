@@ -54,6 +54,7 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
   bags.reserve(kNumBuckets);
   for (int b = 0; b < kNumBuckets; ++b) {
     bags.push_back(std::make_unique<HashBag<std::uint64_t>>(8));
+    if (stats) bags.back()->attach_tracer(stats);
   }
   bags[0]->insert(encode(source, 0));
 
@@ -151,7 +152,7 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
           });
           break;
         }
-        if (stats) stats->end_round(fsize);
+        if (stats) stats->end_round(fsize, RoundKind::kDense);
         std::uint32_t next_level = level + 1;
         parallel_for(0, n, [&](std::size_t vi) {
           VertexId v = static_cast<VertexId>(vi);
@@ -175,7 +176,10 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
     // --- Sparse phase: VGC local searches (tau=1 when already parallel) ---
     VgcParams vgc = params.vgc;
     if (ready_work >= vgc_limit) vgc.tau = 1;
-    if (stats) stats->end_round(ready.size());
+    if (stats) {
+      stats->end_round(ready.size(),
+                       vgc.tau > 1 ? RoundKind::kLocal : RoundKind::kSparse);
+    }
     parallel_for(
         0, ready.size(),
         [&](std::size_t i) {

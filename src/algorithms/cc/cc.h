@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 
 namespace pasgal {
@@ -31,6 +32,12 @@ ConnectivityResult connected_components(const Graph& g,
 // Label propagation: rounds of min-label exchange until fixpoint. Returns
 // min-vertex labels like connected_components (no forest).
 std::vector<VertexId> label_prop_cc(const Graph& g, RunStats* stats = nullptr);
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+RunReport<ConnectivityResult> connected_components(const Graph& g,
+                                                   const AlgoOptions& opt);
+RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
+                                               const AlgoOptions& opt);
 
 // Number of distinct labels (helper shared by CC/SCC/BCC consumers).
 std::size_t count_distinct_labels(std::span<const VertexId> labels);

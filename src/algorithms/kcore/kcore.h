@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
@@ -34,5 +35,11 @@ struct KcoreParams {
 
 std::vector<std::uint32_t> pasgal_kcore(const Graph& g, KcoreParams params = {},
                                         RunStats* stats = nullptr);
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+RunReport<std::vector<std::uint32_t>> seq_kcore(const Graph& g,
+                                                const AlgoOptions& opt);
+RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
+                                                   const AlgoOptions& opt);
 
 }  // namespace pasgal

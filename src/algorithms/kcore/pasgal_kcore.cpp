@@ -41,6 +41,7 @@ std::vector<std::uint32_t> pasgal_kcore(const Graph& g, KcoreParams params,
   std::vector<std::unique_ptr<HashBag<std::uint64_t>>> buckets;
   for (std::size_t b = 0; b <= kWindow; ++b) {  // last = overflow
     buckets.push_back(std::make_unique<HashBag<std::uint64_t>>(8));
+    if (stats) buckets.back()->attach_tracer(stats);
   }
   std::uint32_t base = 0;
   auto bucket_of = [&](std::uint32_t d) {
@@ -64,6 +65,7 @@ std::vector<std::uint32_t> pasgal_kcore(const Graph& g, KcoreParams params,
   };
 
   HashBag<std::uint64_t> wave_bag(8);
+  if (stats) wave_bag.attach_tracer(stats);
   while (remaining > 0) {
     // Advance the window when the current level leaves it.
     if (k >= base + kWindow) {
@@ -99,7 +101,10 @@ std::vector<std::uint32_t> pasgal_kcore(const Graph& g, KcoreParams params,
       ++k;
       continue;
     }
-    if (stats) stats->end_round(ready.size());
+    if (stats) {
+      stats->end_round(ready.size(), params.vgc.tau > 1 ? RoundKind::kLocal
+                                                        : RoundKind::kSparse);
+    }
 
     // Peel the wave; VGC keeps chains in-task.
     parallel_for(
@@ -137,6 +142,7 @@ std::vector<std::uint32_t> pasgal_kcore(const Graph& g, KcoreParams params,
           if (stats) {
             stats->add_edges(edges);
             stats->add_visits(peeled_in_task);
+            stats->add_local_depth(peeled_in_task);
           }
         },
         1);

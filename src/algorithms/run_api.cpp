@@ -1,0 +1,195 @@
+// Modern AlgoOptions/RunReport entry points for every algorithm family.
+//
+// Each wrapper assembles the family's legacy parameter struct from the
+// shared AlgoOptions and routes the run through run_traced(), which owns the
+// tracer plumbing and the wall-clock/telemetry bookkeeping. The legacy
+// `(..., Params, RunStats*)` signatures remain the implementations.
+
+#include "algorithms/bcc/bcc.h"
+#include "algorithms/bfs/bfs.h"
+#include "algorithms/cc/cc.h"
+#include "algorithms/kcore/kcore.h"
+#include "algorithms/scc/scc.h"
+#include "algorithms/sssp/sssp.h"
+#include "algorithms/toposort/toposort.h"
+#include "pasgal/options.h"
+
+namespace pasgal {
+
+namespace {
+
+PasgalBfsParams bfs_params(const AlgoOptions& opt) {
+  PasgalBfsParams p;
+  p.vgc = opt.vgc;
+  p.vgc_engage_factor = opt.vgc_engage_factor;
+  p.dense_threshold_den = opt.dense_threshold_den;
+  p.use_dense = opt.use_dense;
+  return p;
+}
+
+SccParams scc_params(const AlgoOptions& opt) {
+  SccParams p;
+  p.vgc = opt.vgc;
+  p.dense_threshold_den = opt.dense_threshold_den;
+  p.use_dense = opt.use_dense;
+  p.beta = opt.scc_beta;
+  p.seed = opt.scc_seed;
+  return p;
+}
+
+SteppingParams stepping_params(const AlgoOptions& opt) {
+  SteppingParams p;
+  p.strategy = opt.sssp_delta_mode ? SteppingParams::Strategy::kDelta
+                                   : SteppingParams::Strategy::kRho;
+  p.delta = opt.sssp_delta;
+  p.rho = opt.sssp_rho;
+  p.vgc = opt.vgc;
+  return p;
+}
+
+}  // namespace
+
+// --- BFS ---------------------------------------------------------------------
+
+RunReport<std::vector<std::uint32_t>> seq_bfs(const Graph& g,
+                                              const AlgoOptions& opt) {
+  return run_traced(opt,
+                    [&](Tracer* t) { return seq_bfs(g, opt.source, t); });
+}
+
+RunReport<std::vector<std::uint32_t>> gbbs_bfs(const Graph& g, const Graph& gt,
+                                               const AlgoOptions& opt) {
+  return run_traced(
+      opt, [&](Tracer* t) { return gbbs_bfs(g, gt, opt.source, t); });
+}
+
+RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
+                                                const AlgoOptions& opt) {
+  GapbsParams p{opt.gapbs_alpha, opt.gapbs_beta};
+  return run_traced(
+      opt, [&](Tracer* t) { return gapbs_bfs(g, gt, opt.source, p, t); });
+}
+
+RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
+                                                 const Graph& gt,
+                                                 const AlgoOptions& opt) {
+  PasgalBfsParams p = bfs_params(opt);
+  return run_traced(
+      opt, [&](Tracer* t) { return pasgal_bfs(g, gt, opt.source, p, t); });
+}
+
+// --- SSSP --------------------------------------------------------------------
+
+RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
+                                      const AlgoOptions& opt) {
+  return run_traced(opt,
+                    [&](Tracer* t) { return dijkstra(g, opt.source, t); });
+}
+
+RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
+                                          const AlgoOptions& opt) {
+  return run_traced(
+      opt, [&](Tracer* t) { return bellman_ford(g, opt.source, t); });
+}
+
+RunReport<std::vector<Dist>> stepping_sssp(
+    const WeightedGraph<std::uint32_t>& g, const AlgoOptions& opt) {
+  SteppingParams p = stepping_params(opt);
+  return run_traced(
+      opt, [&](Tracer* t) { return stepping_sssp(g, opt.source, p, t); });
+}
+
+// --- SCC ---------------------------------------------------------------------
+
+RunReport<std::vector<SccLabel>> tarjan_scc(const Graph& g,
+                                            const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return tarjan_scc(g, t); });
+}
+
+RunReport<std::vector<SccLabel>> pasgal_scc(const Graph& g, const Graph& gt,
+                                            const AlgoOptions& opt) {
+  SccParams p = scc_params(opt);
+  return run_traced(opt,
+                    [&](Tracer* t) { return pasgal_scc(g, gt, p, t); });
+}
+
+RunReport<std::vector<SccLabel>> gbbs_scc(const Graph& g, const Graph& gt,
+                                          const AlgoOptions& opt) {
+  SccParams p = scc_params(opt);
+  return run_traced(opt, [&](Tracer* t) { return gbbs_scc(g, gt, p, t); });
+}
+
+RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
+                                               const AlgoOptions& opt) {
+  MultistepParams p{opt.multistep_cutoff};
+  return run_traced(opt,
+                    [&](Tracer* t) { return multistep_scc(g, gt, p, t); });
+}
+
+// --- BCC ---------------------------------------------------------------------
+
+RunReport<BccResult> hopcroft_tarjan_bcc(const Graph& g,
+                                         const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return hopcroft_tarjan_bcc(g, t); });
+}
+
+RunReport<BccResult> fast_bcc(const Graph& g, const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return fast_bcc(g, t); });
+}
+
+RunReport<BccResult> tarjan_vishkin_bcc(const Graph& g,
+                                        const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return tarjan_vishkin_bcc(g, t); });
+}
+
+RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return gbbs_bcc(g, t); });
+}
+
+// --- CC ----------------------------------------------------------------------
+
+RunReport<ConnectivityResult> connected_components(const Graph& g,
+                                                   const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return connected_components(g, t); });
+}
+
+RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
+                                               const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return label_prop_cc(g, t); });
+}
+
+// --- k-core ------------------------------------------------------------------
+
+RunReport<std::vector<std::uint32_t>> seq_kcore(const Graph& g,
+                                                const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) { return seq_kcore(g, t); });
+}
+
+RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
+                                                   const AlgoOptions& opt) {
+  KcoreParams p{opt.vgc};
+  return run_traced(opt, [&](Tracer* t) { return pasgal_kcore(g, p, t); });
+}
+
+// --- toposort ----------------------------------------------------------------
+
+RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
+                                                   const AlgoOptions& opt) {
+  return run_traced(opt, [&](Tracer* t) {
+    std::vector<std::uint32_t> levels;
+    seq_toposort(g, levels, t).throw_if_error();
+    return levels;
+  });
+}
+
+RunReport<std::vector<std::uint32_t>> pasgal_toposort(const Graph& g,
+                                                      const AlgoOptions& opt) {
+  ToposortParams p{opt.vgc};
+  return run_traced(opt, [&](Tracer* t) {
+    std::vector<std::uint32_t> levels;
+    pasgal_toposort(g, levels, p, t).throw_if_error();
+    return levels;
+  });
+}
+
+}  // namespace pasgal

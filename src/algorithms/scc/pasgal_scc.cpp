@@ -40,6 +40,7 @@ std::vector<SccLabel> pasgal_scc(const Graph& g, const Graph& gt,
   // --- Trim: vertices with no live in- or out-neighbour are singleton SCCs.
   // One pass (as in Multistep/GBBS); repeated trimming would itself need
   // O(D) rounds on chain-like graphs.
+  if (stats) stats->phase_begin("trim");
   parallel_for(0, n, [&](std::size_t vi) {
     VertexId v = static_cast<VertexId>(vi);
     bool has_in = false, has_out = false;
@@ -62,6 +63,7 @@ std::vector<SccLabel> pasgal_scc(const Graph& g, const Graph& gt,
   if (stats) stats->end_round(n);
 
   // --- Randomized pivot order.
+  if (stats) stats->phase_begin("partition");
   Random rng(params.seed);
   auto perm = tabulate(n, [](std::size_t i) { return static_cast<VertexId>(i); });
   integer_sort_inplace(
@@ -101,6 +103,7 @@ std::vector<SccLabel> pasgal_scc(const Graph& g, const Graph& gt,
   std::vector<VertexId> pending = perm;
   std::size_t batch_size = 1;
   std::uint32_t round = 0;
+  if (stats) stats->phase_begin("pivot_rounds");
   while (!pending.empty()) {
     std::size_t take = std::min(pending.size(), batch_size);
     batch_size = static_cast<std::size_t>(
@@ -177,6 +180,7 @@ std::vector<SccLabel> pasgal_scc(const Graph& g, const Graph& gt,
     leftovers.insert(leftovers.end(), rest.begin(), rest.end());
     pending = std::move(leftovers);
   }
+  if (stats) stats->phase_end();
 
   return tabulate(n, [&](std::size_t v) {
     return label[v].load(std::memory_order_relaxed);

@@ -46,6 +46,7 @@ void multi_reach(const Graph& g, const Graph& gt,
   }
 
   HashBag<VertexId> bag(10);
+  if (stats) bag.attach_tracer(stats);
   while (!current.empty()) {
     EdgeId work = reduce_indexed<EdgeId>(
                       current.size(), 0, std::plus<EdgeId>{},
@@ -55,7 +56,7 @@ void multi_reach(const Graph& g, const Graph& gt,
     if (params.use_dense && work > dense_limit) {
       // Dense pull rounds until the wave subsides.
       for (;;) {
-        if (stats) stats->end_round(current.size());
+        if (stats) stats->end_round(current.size(), RoundKind::kDense);
         std::vector<std::uint8_t> newly(n, 0);
         parallel_for(0, n, [&](std::size_t vi) {
           VertexId v = static_cast<VertexId>(vi);
@@ -89,7 +90,10 @@ void multi_reach(const Graph& g, const Graph& gt,
       continue;
     }
 
-    if (stats) stats->end_round(current.size());
+    if (stats) {
+      stats->end_round(current.size(), params.vgc.tau > 1 ? RoundKind::kLocal
+                                                          : RoundKind::kSparse);
+    }
     parallel_for(
         0, current.size(),
         [&](std::size_t i) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
@@ -54,6 +55,18 @@ struct MultistepParams {
 std::vector<SccLabel> multistep_scc(const Graph& g, const Graph& gt,
                                     MultistepParams params = {},
                                     RunStats* stats = nullptr);
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+// The SCC family reads vgc/dense/scc_beta/scc_seed/multistep_cutoff from the
+// options.
+RunReport<std::vector<SccLabel>> tarjan_scc(const Graph& g,
+                                            const AlgoOptions& opt);
+RunReport<std::vector<SccLabel>> pasgal_scc(const Graph& g, const Graph& gt,
+                                            const AlgoOptions& opt);
+RunReport<std::vector<SccLabel>> gbbs_scc(const Graph& g, const Graph& gt,
+                                          const AlgoOptions& opt);
+RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
+                                               const AlgoOptions& opt);
 
 // Rewrites labels so each SCC is named by its smallest vertex id; makes
 // outputs of different algorithms directly comparable.

@@ -21,6 +21,7 @@
 
 #include "graphs/graph.h"
 #include "pasgal/error.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
@@ -71,5 +72,15 @@ inline std::vector<Dist> delta_stepping(const WeightedGraph<std::uint32_t>& g,
   p.delta = delta;
   return stepping_sssp(g, source, p, stats);
 }
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+// stepping_sssp reads sssp_delta_mode/sssp_delta/sssp_rho and the VGC knobs
+// from the options.
+RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
+                                      const AlgoOptions& opt);
+RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
+                                          const AlgoOptions& opt);
+RunReport<std::vector<Dist>> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
+                                           const AlgoOptions& opt);
 
 }  // namespace pasgal

@@ -58,6 +58,7 @@ std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
   bags.reserve(kNumBuckets);
   for (int b = 0; b < kNumBuckets; ++b) {
     bags.push_back(std::make_unique<HashBag<std::uint64_t>>(8));
+    if (stats) bags.back()->attach_tracer(stats);
   }
   bags[0]->insert(encode(source, 0));
 
@@ -112,7 +113,10 @@ std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
     }
     if (ready.empty()) continue;
 
-    if (stats) stats->end_round(ready.size());
+    if (stats) {
+      stats->end_round(ready.size(), params.vgc.tau > 1 ? RoundKind::kLocal
+                                                        : RoundKind::kSparse);
+    }
     parallel_for(
         0, ready.size(),
         [&](std::size_t i) {

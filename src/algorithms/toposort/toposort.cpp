@@ -75,9 +75,14 @@ Status pasgal_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
 
   std::atomic<std::uint64_t> finished{0};
   HashBag<VertexId> bag(8);
+  if (stats) bag.attach_tracer(stats);
   std::vector<VertexId> frontier = std::move(roots);
   while (!frontier.empty()) {
-    if (stats) stats->end_round(frontier.size());
+    if (stats) {
+      stats->end_round(frontier.size(), params.vgc.tau > 1
+                                            ? RoundKind::kLocal
+                                            : RoundKind::kSparse);
+    }
     parallel_for(
         0, frontier.size(),
         [&](std::size_t i) {
@@ -106,6 +111,7 @@ Status pasgal_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
           if (stats) {
             stats->add_edges(edges);
             stats->add_visits(processed);
+            stats->add_local_depth(processed);
           }
         },
         1);

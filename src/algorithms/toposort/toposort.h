@@ -20,6 +20,7 @@
 
 #include "graphs/graph.h"
 #include "pasgal/error.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
 
@@ -34,6 +35,14 @@ struct ToposortParams {
 
 Status pasgal_toposort(const Graph& g, std::vector<std::uint32_t>& levels,
                        ToposortParams params = {}, RunStats* stats = nullptr);
+
+// --- Modern entry points (algorithms/run_api.cpp) ---------------------------
+// Unlike the legacy Status forms these throw the kValidation Error on cyclic
+// inputs, so RunReport can carry the levels directly.
+RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
+                                                   const AlgoOptions& opt);
+RunReport<std::vector<std::uint32_t>> pasgal_toposort(const Graph& g,
+                                                      const AlgoOptions& opt);
 
 // Convenience: vertices sorted by (level, id) — a concrete topological order.
 std::vector<VertexId> topological_order(std::span<const std::uint32_t> levels);

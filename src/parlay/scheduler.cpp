@@ -50,7 +50,9 @@ void Scheduler::reset(int num_workers) {
 int Scheduler::worker_id() { return tls_worker_id; }
 
 Scheduler::Scheduler(int num_workers)
-    : num_workers_(num_workers), deques_(static_cast<std::size_t>(num_workers)) {
+    : num_workers_(num_workers),
+      deques_(static_cast<std::size_t>(num_workers)),
+      counters_(static_cast<std::size_t>(num_workers)) {
   tls_worker_id = 0;  // the constructing thread is worker 0
   threads_.reserve(static_cast<std::size_t>(num_workers_ - 1));
   for (int id = 1; id < num_workers_; ++id) {
@@ -74,23 +76,61 @@ Job* Scheduler::try_steal(std::uint64_t& rng_state) {
     int victim = start + i;
     if (victim >= num_workers_) victim -= num_workers_;
     if (victim == self) continue;
-    if (Job* job = deques_[static_cast<std::size_t>(victim)].steal_top()) return job;
+    if (Job* job = deques_[static_cast<std::size_t>(victim)].steal_top()) {
+      counters_[static_cast<std::size_t>(self)].steals.fetch_add(
+          1, std::memory_order_relaxed);
+      return job;
+    }
   }
   return nullptr;
+}
+
+void Scheduler::execute_counted(Job* job) {
+  // Only stolen/helped jobs pass through here, so the clock reads stay off
+  // the par_do fast path; a stolen job is a whole fork subtree, which
+  // amortizes the two reads.
+  PaddedCounters& c = counters_[static_cast<std::size_t>(worker_id())];
+  auto start = std::chrono::steady_clock::now();
+  job->execute();
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  c.busy_ns.fetch_add(static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+  c.tasks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<WorkerCounters> Scheduler::counters() const {
+  std::vector<WorkerCounters> out(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out[i].steals = counters_[i].steals.load(std::memory_order_relaxed);
+    out[i].tasks = counters_[i].tasks.load(std::memory_order_relaxed);
+    out[i].busy_ns = counters_[i].busy_ns.load(std::memory_order_relaxed);
+    out[i].idle_ns = counters_[i].idle_ns.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Scheduler::wait_for(const Job& job) {
   std::uint64_t rng_state =
       0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(worker_id()) + 1);
+  PaddedCounters& c = counters_[static_cast<std::size_t>(worker_id())];
   int failures = 0;
   while (!job.finished()) {
     if (Job* stolen = try_steal(rng_state)) {
       failures = 0;
-      stolen->execute();
-    } else if (++failures < 32) {
-      std::this_thread::yield();
+      execute_counted(stolen);
     } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      auto start = std::chrono::steady_clock::now();
+      if (++failures < 32) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      c.idle_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                          std::memory_order_relaxed);
     }
   }
 }
@@ -99,16 +139,25 @@ void Scheduler::worker_loop(int id) {
   tls_worker_id = id;
   std::uint64_t rng_state =
       0xbf58476d1ce4e5b9ULL ^ (static_cast<std::uint64_t>(id) + 1);
+  PaddedCounters& c = counters_[static_cast<std::size_t>(id)];
   int failures = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (Job* job = try_steal(rng_state)) {
       failures = 0;
-      job->execute();
-    } else if (++failures < 32) {
-      std::this_thread::yield();
+      execute_counted(job);
     } else {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(failures < 256 ? 50 : 500));
+      auto start = std::chrono::steady_clock::now();
+      if (++failures < 32) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(failures < 256 ? 50 : 500));
+      }
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      c.idle_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                          std::memory_order_relaxed);
     }
   }
 }

@@ -120,6 +120,23 @@ class WorkStealingDeque {
   std::vector<std::atomic<Job*>> buffer_;
 };
 
+// Per-worker scheduler activity over some interval. Snapshots are cheap and
+// monotone for the lifetime of a pool; the telemetry layer diffs two
+// snapshots to attribute scheduler behaviour to one algorithm run.
+//
+//   steals  — jobs successfully taken from another worker's deque
+//   tasks   — jobs executed via the steal/help paths (the par_do fast path,
+//             where the forker pops its own job back, is deliberately not
+//             counted: it would put bookkeeping on the fork hot path)
+//   busy_ns — wall time spent executing those stolen/helped jobs
+//   idle_ns — wall time spent in the back-off loop (yields and sleeps)
+struct WorkerCounters {
+  std::uint64_t steals = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+};
+
 class Scheduler {
  public:
   // Number of workers (including the calling/main thread as worker 0).
@@ -149,6 +166,11 @@ class Scheduler {
   // Cooperatively wait for `job` to finish, stealing other work meanwhile.
   void wait_for(const Job& job);
 
+  // Snapshot of every worker's counters since this pool was built. Each slot
+  // is written only by its owning worker (relaxed atomics, cache-line
+  // padded), so reading a snapshot never perturbs the workers.
+  std::vector<WorkerCounters> counters() const;
+
  private:
   explicit Scheduler(int num_workers);
 
@@ -161,9 +183,19 @@ class Scheduler {
   Job* try_steal(std::uint64_t& rng_state);
   void worker_loop(int id);
 
+  struct alignas(64) PaddedCounters {
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+  // Execute a stolen/helped job, charging busy time to the calling worker.
+  void execute_counted(Job* job);
+
   int num_workers_;
   std::atomic<bool> shutdown_{false};
   std::vector<WorkStealingDeque> deques_;
+  std::vector<PaddedCounters> counters_;
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,173 @@
+#include "pasgal/cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace pasgal::cli {
+
+long long parse_int(const std::string& text, const std::string& what,
+                    long long min_value, long long max_value,
+                    ErrorCategory category) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw Error(category, what + ": '" + text + "' is not an integer");
+  }
+  if (errno == ERANGE || value < min_value || value > max_value) {
+    throw Error(category, what + ": " + text + " is out of range [" +
+                              std::to_string(min_value) + ", " +
+                              std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+long long parse_flag_int(const std::string& flag, const char* value,
+                         long long min_value, long long max_value) {
+  return parse_int(value, "flag " + flag, min_value, max_value,
+                   ErrorCategory::kUsage);
+}
+
+long long Spec::required(std::size_t i, const char* what, long long min_value,
+                         long long max_value) const {
+  if (fields.size() < i || fields[i - 1].empty()) {
+    throw Error(ErrorCategory::kUsage,
+                "spec '" + text + "': missing field <" + what + ">");
+  }
+  return parse_int(fields[i - 1],
+                   "spec '" + text + "' field <" + std::string(what) + ">",
+                   min_value, max_value, ErrorCategory::kUsage);
+}
+
+long long Spec::optional(std::size_t i, const char* what, long long min_value,
+                         long long max_value, long long fallback) const {
+  if (fields.size() < i) return fallback;
+  return parse_int(fields[i - 1],
+                   "spec '" + text + "' field <" + std::string(what) + ">",
+                   min_value, max_value, ErrorCategory::kUsage);
+}
+
+void Spec::expect_at_most(std::size_t count) const {
+  if (fields.size() > count) {
+    throw Error(ErrorCategory::kUsage, "spec '" + text +
+                                           "': unexpected extra field '" +
+                                           fields[count] + "'");
+  }
+}
+
+Spec split_spec(const std::string& spec) {
+  Spec out;
+  out.text = spec;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= spec.size()) {
+    std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) colon = spec.size();
+    std::string part = spec.substr(start, colon - start);
+    if (first) {
+      out.kind = std::move(part);
+      first = false;
+    } else {
+      out.fields.push_back(std::move(part));
+    }
+    start = colon + 1;
+  }
+  return out;
+}
+
+OptionSet& OptionSet::flag(std::string name, bool* target,
+                           std::string value_name) {
+  options_.push_back({std::move(name), false, std::move(value_name),
+                      [target](const std::string&, const char*) {
+                        *target = true;
+                      }});
+  return *this;
+}
+
+OptionSet& OptionSet::add_integer(std::string name, long long min_value,
+                                  long long max_value, std::string value_name,
+                                  std::function<void(long long)> set) {
+  options_.push_back(
+      {std::move(name), true, std::move(value_name),
+       [min_value, max_value, set = std::move(set)](const std::string& flag,
+                                                    const char* value) {
+         set(parse_flag_int(flag, value, min_value, max_value));
+       }});
+  return *this;
+}
+
+OptionSet& OptionSet::text(std::string name, std::string* target,
+                           std::string value_name) {
+  options_.push_back({std::move(name), true, std::move(value_name),
+                      [target](const std::string&, const char* value) {
+                        *target = value;
+                      }});
+  return *this;
+}
+
+OptionSet& OptionSet::choice(std::string name, std::string* target,
+                             std::vector<std::string> allowed) {
+  std::string rendered;
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (i) rendered += '|';
+    rendered += allowed[i];
+  }
+  options_.push_back(
+      {std::move(name), true, rendered,
+       [target, allowed = std::move(allowed), rendered](
+           const std::string& flag, const char* value) {
+         for (const std::string& a : allowed) {
+           if (a == value) {
+             *target = value;
+             return;
+           }
+         }
+         throw Error(ErrorCategory::kUsage,
+                     "flag " + flag + ": unknown value '" + value +
+                         "' (expected " + rendered + ")");
+       }});
+  return *this;
+}
+
+void OptionSet::parse(int argc, char** argv, int first) const {
+  FlagParser flags(argc, argv, first);
+  while (flags.next()) {
+    const Option* match = nullptr;
+    for (const Option& o : options_) {
+      if (o.name == flags.flag()) {
+        match = &o;
+        break;
+      }
+    }
+    if (match == nullptr) flags.unknown();
+    match->apply(flags.flag(), match->takes_value ? flags.value() : nullptr);
+  }
+}
+
+std::string OptionSet::usage() const {
+  std::string out;
+  for (const Option& o : options_) {
+    if (!out.empty()) out += ' ';
+    out += '[';
+    out += o.name;
+    if (o.takes_value) {
+      out += ' ';
+      // Choices render their literal alternatives; plain values get <name>.
+      if (o.value_name.find('|') != std::string::npos) {
+        out += o.value_name;
+      } else {
+        out += '<' + o.value_name + '>';
+      }
+    }
+    out += ']';
+  }
+  return out;
+}
+
+void CommonOptions::declare(OptionSet& opts) {
+  opts.integer("-r", &repeats, 1, 1000000, "repeats");
+  opts.flag("--validate", &validate);
+  opts.text("--json-metrics", &json_metrics, "path");
+}
+
+}  // namespace pasgal::cli

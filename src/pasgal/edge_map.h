@@ -39,6 +39,10 @@ VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
   EdgeId frontier_work = frontier.out_degree_sum(g) + frontier.size();
   bool go_dense = opt.allow_dense &&
                   frontier_work > g.num_edges() / opt.dense_threshold_den;
+  // Record the direction decision; the round master's end_round() consumes it.
+  if (stats) {
+    stats->set_round_kind(go_dense ? RoundKind::kDense : RoundKind::kSparse);
+  }
 
   if (go_dense) {
     frontier.to_dense();

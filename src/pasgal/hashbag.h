@@ -25,6 +25,7 @@
 #include "parlay/parallel.h"
 #include "parlay/primitives.h"
 #include "pasgal/error.h"
+#include "pasgal/telemetry.h"
 
 namespace pasgal {
 
@@ -38,6 +39,12 @@ class HashBag {
       : first_block_log2_(first_block_log2), blocks_(max_blocks) {
     ensure_block(0);
   }
+
+  // Route occupancy events (inserts, block advances, extract sizes) into a
+  // run's tracer. The tracer must outlive the bag or be detached (nullptr);
+  // events are per-worker counters on the tracer, so concurrent inserts stay
+  // wait-free.
+  void attach_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   // Thread-safe. `x` must not equal the empty sentinel. Duplicate values are
   // fine: the probe start mixes in a per-thread nonce, so equal elements
@@ -70,6 +77,7 @@ class HashBag {
           // Track fullness; advance the shared block index near half full.
           std::size_t size =
               blk->count.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (tracer_) tracer_->add_bag_insert();
           if (size >= cap / 2) {
             advance_current_block(b);
           }
@@ -110,7 +118,9 @@ class HashBag {
           });
     }
     clear();
-    return flatten(per_block);
+    std::vector<T> out = flatten(per_block);
+    if (tracer_) tracer_->note_bag_extract(out.size());
+    return out;
   }
 
   // Number of elements currently stored (exact when no inserts in flight).
@@ -178,8 +188,10 @@ class HashBag {
   void advance_current_block(std::size_t b) {
     if (b + 1 >= blocks_.size()) return;  // saturated; keep probing last block
     std::size_t expected = b;
-    current_block_.compare_exchange_strong(expected, b + 1,
-                                           std::memory_order_acq_rel);
+    if (current_block_.compare_exchange_strong(expected, b + 1,
+                                               std::memory_order_acq_rel)) {
+      if (tracer_) tracer_->add_bag_advance();
+    }
   }
 
   // Wrapper giving unique_ptr semantics over an atomically-installed pointer.
@@ -205,6 +217,7 @@ class HashBag {
   int first_block_log2_;
   std::atomic<std::size_t> current_block_{0};
   std::vector<AtomicBlockPtr> blocks_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pasgal

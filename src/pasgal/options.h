@@ -1,0 +1,90 @@
+// Unified run context for the algorithm entry points.
+//
+// Every algorithm variant has a modern signature
+//
+//   RunReport<T> variant(const Graph& g, [const Graph& gt,] const AlgoOptions&)
+//
+// declared next to its legacy form in the family header and implemented in
+// algorithms/run_api.cpp. `AlgoOptions` carries the union of all per-family
+// tuning knobs (each family reads only its own), the source vertex, the
+// validation flag, and an optional caller-owned Tracer; `RunReport` bundles
+// the output with the run's wall time and aggregated telemetry. The legacy
+// `(..., Params, RunStats*)` signatures remain as thin compatibility
+// wrappers around the same implementations.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "graphs/graph.h"
+#include "pasgal/telemetry.h"
+#include "pasgal/vgc.h"
+
+namespace pasgal {
+
+struct AlgoOptions {
+  // Source vertex for single-source algorithms (BFS, SSSP, PPSP start).
+  VertexId source = 0;
+
+  // VGC knobs (BFS, SSSP, SCC, k-core, toposort).
+  VgcParams vgc;
+  std::uint32_t vgc_engage_factor = 16;
+
+  // Direction optimization (BFS, SCC).
+  EdgeId dense_threshold_den = 20;
+  bool use_dense = true;
+
+  // GAPBS hysteresis controller (gapbs_bfs only).
+  int gapbs_alpha = 15;
+  int gapbs_beta = 18;
+
+  // Stepping SSSP: rho-stepping by default, delta-stepping if
+  // sssp_delta_mode is set.
+  bool sssp_delta_mode = false;
+  std::uint64_t sssp_delta = 32;
+  std::size_t sssp_rho = 8192;
+
+  // SCC pivot batching.
+  double scc_beta = 2.0;
+  std::uint64_t scc_seed = 42;
+  std::size_t multistep_cutoff = 1000;
+
+  // Cross-check the output against a reference computation (drivers only;
+  // the run_api entry points record it in no way — it rides here so one
+  // options struct reaches the whole driver pipeline).
+  bool validate = false;
+
+  // When non-null the run records into this tracer (reset at run start) and
+  // the caller can keep it for later inspection; when null a run-local
+  // tracer is used and survives only as RunReport::telemetry.
+  Tracer* tracer = nullptr;
+};
+
+// Output of one algorithm run under the modern API.
+template <typename T>
+struct RunReport {
+  T output;
+  double seconds = 0;
+  RunTelemetry telemetry;
+};
+
+// Shared harness for the run_api entry points: route recording through the
+// caller's tracer (or a run-local one), time the body, aggregate at the end.
+template <typename F>
+auto run_traced(const AlgoOptions& opt, F&& body)
+    -> RunReport<decltype(body(static_cast<Tracer*>(nullptr)))> {
+  Tracer local;
+  Tracer* tracer = opt.tracer != nullptr ? opt.tracer : &local;
+  tracer->reset();
+  auto start = std::chrono::steady_clock::now();
+  RunReport<decltype(body(static_cast<Tracer*>(nullptr)))> report{
+      body(tracer), 0.0, {}};
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.telemetry = tracer->aggregate();
+  return report;
+}
+
+}  // namespace pasgal

@@ -5,35 +5,6 @@
 
 namespace pasgal {
 
-RunStats::RunStats() : counters_(static_cast<std::size_t>(num_workers())) {}
-
-void RunStats::reset() {
-  std::fill(counters_.begin(), counters_.end(), Counters{});
-  frontier_sizes_.clear();
-}
-
-void RunStats::end_round(std::uint64_t frontier_size) {
-  frontier_sizes_.push_back(frontier_size);
-}
-
-std::uint64_t RunStats::edges_scanned() const {
-  std::uint64_t total = 0;
-  for (const Counters& c : counters_) total += c.edges;
-  return total;
-}
-
-std::uint64_t RunStats::vertices_visited() const {
-  std::uint64_t total = 0;
-  for (const Counters& c : counters_) total += c.visits;
-  return total;
-}
-
-std::uint64_t RunStats::max_frontier() const {
-  std::uint64_t best = 0;
-  for (std::uint64_t f : frontier_sizes_) best = std::max(best, f);
-  return best;
-}
-
 double CostModel::projected_time_ns(std::uint64_t work, std::uint64_t rounds,
                                     double avg_parallelism, int P) const {
   double usable = std::min<double>(P, std::max(1.0, avg_parallelism));

@@ -1,52 +1,21 @@
-// Per-run instrumentation: rounds (global synchronizations), edges scanned,
-// vertices visited, frontier sizes — the quantities the paper's argument is
-// about. Counters are per-worker and cache-line padded so instrumentation
-// does not serialize the algorithms.
+// Legacy shim: `RunStats` is now an alias for the full telemetry recorder
+// (pasgal/telemetry.h), which keeps the original interface — add_edges,
+// add_visits, end_round, rounds(), frontier_sizes(), max_frontier() — so
+// existing call sites and tests compile unchanged while gaining round traces,
+// depth histograms, and scheduler counters for free.
 //
 // Also provides the calibrated cost model used by the benchmark harness to
 // project speedup-vs-cores curves on hardware with fewer cores than the
 // paper's 96-core testbed (see DESIGN.md §2 and §4).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <string>
-#include <vector>
 
-#include "parlay/scheduler.h"
+#include "pasgal/telemetry.h"
 
 namespace pasgal {
 
-class RunStats {
- public:
-  RunStats();
-
-  void reset();
-
-  // Hot-path counters (callable from any worker).
-  void add_edges(std::uint64_t k) { slot().edges += k; }
-  void add_visits(std::uint64_t k) { slot().visits += k; }
-
-  // Called once per frontier round by the round master.
-  void end_round(std::uint64_t frontier_size);
-
-  std::uint64_t edges_scanned() const;
-  std::uint64_t vertices_visited() const;
-  std::uint64_t rounds() const { return static_cast<std::uint64_t>(frontier_sizes_.size()); }
-  const std::vector<std::uint64_t>& frontier_sizes() const { return frontier_sizes_; }
-
-  std::uint64_t max_frontier() const;
-
- private:
-  struct alignas(64) Counters {
-    std::uint64_t edges = 0;
-    std::uint64_t visits = 0;
-  };
-  Counters& slot() { return counters_[static_cast<std::size_t>(worker_id())]; }
-
-  std::vector<Counters> counters_;
-  std::vector<std::uint64_t> frontier_sizes_;
-};
+using RunStats = Tracer;
 
 // Cost model for projecting runtimes to P processors (DESIGN.md §4):
 //

@@ -67,6 +67,7 @@ std::uint64_t local_search(const Graph& g, VertexId root, const VgcParams& p,
   if (stats) {
     stats->add_edges(edges);
     stats->add_visits(expanded);
+    stats->add_local_depth(expanded);
   }
   return expanded;
 }
@@ -110,7 +111,10 @@ std::uint64_t local_search_dist(VertexId root, std::uint32_t root_dist,
       }
     });
   }
-  if (stats) stats->add_visits(expanded);
+  if (stats) {
+    stats->add_visits(expanded);
+    stats->add_local_depth(expanded);
+  }
   return expanded;
 }
 

@@ -1,0 +1,103 @@
+// CLI plumbing: checked integer parsing, spec splitting, and the typed
+// OptionSet declarations shared by all drivers.
+#include <gtest/gtest.h>
+
+#include "pasgal/cli.h"
+
+namespace pasgal::cli {
+namespace {
+
+// Builds a mutable argv from string literals (parse takes char**).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : store(std::move(args)) {
+    for (auto& s : store) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+};
+
+TEST(ParseInt, AcceptsFullStringsOnly) {
+  EXPECT_EQ(parse_int("42", "x", 0, 100, ErrorCategory::kUsage), 42);
+  EXPECT_EQ(parse_int("-7", "x", -10, 10, ErrorCategory::kUsage), -7);
+  EXPECT_THROW(parse_int("", "x", 0, 100, ErrorCategory::kUsage), Error);
+  EXPECT_THROW(parse_int("abc", "x", 0, 100, ErrorCategory::kUsage), Error);
+  EXPECT_THROW(parse_int("12abc", "x", 0, 100, ErrorCategory::kUsage), Error);
+  EXPECT_THROW(parse_int("101", "x", 0, 100, ErrorCategory::kUsage), Error);
+}
+
+TEST(SplitSpec, KindAndFields) {
+  Spec s = split_spec("grid:30:40");
+  EXPECT_EQ(s.kind, "grid");
+  ASSERT_EQ(s.fields.size(), 2u);
+  EXPECT_EQ(s.required(1, "rows", 1, 1 << 20), 30);
+  EXPECT_EQ(s.optional(3, "seed", 0, 100, 5), 5);
+  EXPECT_NO_THROW(s.expect_at_most(2));
+  EXPECT_THROW(s.expect_at_most(1), Error);
+}
+
+TEST(OptionSet, ParsesTypedFlags) {
+  long long source = 0;
+  bool validate = false;
+  std::string algo = "pasgal";
+  std::string path;
+  OptionSet opts;
+  opts.integer("-s", &source, 0, 1000, "source")
+      .flag("--validate", &validate)
+      .choice("-a", &algo, {"pasgal", "gbbs", "seq"})
+      .text("--json-metrics", &path, "path");
+
+  Argv args({"prog", "graph.adj", "-s", "17", "--validate", "-a", "gbbs",
+             "--json-metrics", "/tmp/m.json"});
+  opts.parse(args.argc(), args.argv(), 2);
+  EXPECT_EQ(source, 17);
+  EXPECT_TRUE(validate);
+  EXPECT_EQ(algo, "gbbs");
+  EXPECT_EQ(path, "/tmp/m.json");
+}
+
+TEST(OptionSet, RejectsBadInput) {
+  long long v = 0;
+  std::string algo = "a";
+  OptionSet opts;
+  opts.integer("-n", &v, 1, 10, "n").choice("-a", &algo, {"a", "b"});
+
+  Argv unknown({"prog", "-z", "5"});
+  EXPECT_THROW(opts.parse(unknown.argc(), unknown.argv(), 1), Error);
+  Argv missing({"prog", "-n"});
+  EXPECT_THROW(opts.parse(missing.argc(), missing.argv(), 1), Error);
+  Argv range({"prog", "-n", "11"});
+  EXPECT_THROW(opts.parse(range.argc(), range.argv(), 1), Error);
+  Argv choice({"prog", "-a", "nope"});
+  EXPECT_THROW(opts.parse(choice.argc(), choice.argv(), 1), Error);
+}
+
+TEST(OptionSet, UsageListsEveryFlag) {
+  long long v = 0;
+  bool b = false;
+  std::string algo = "a";
+  OptionSet opts;
+  opts.integer("-n", &v, 1, 10, "n")
+      .flag("--check", &b)
+      .choice("-a", &algo, {"a", "b"});
+  std::string u = opts.usage();
+  EXPECT_NE(u.find("[-n <n>]"), std::string::npos);
+  EXPECT_NE(u.find("[--check]"), std::string::npos);
+  EXPECT_NE(u.find("a|b"), std::string::npos);
+}
+
+TEST(CommonOptions, DeclaresSharedFlags) {
+  CommonOptions common;
+  OptionSet opts;
+  common.declare(opts);
+  Argv args({"prog", "g.adj", "-r", "5", "--validate", "--json-metrics",
+             "out.json"});
+  opts.parse(args.argc(), args.argv(), 2);
+  EXPECT_EQ(common.repeats, 5);
+  EXPECT_TRUE(common.validate);
+  EXPECT_EQ(common.json_metrics, "out.json");
+}
+
+}  // namespace
+}  // namespace pasgal::cli
