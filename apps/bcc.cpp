@@ -24,9 +24,13 @@ int main(int argc, char** argv) {
   return apps::run_app([&]() {
     opts.parse(argc, argv, 2);
 
-    Graph g = apps::load_graph(argv[1], common.validate).symmetrize();
+    apps::LoadedGraph loaded = apps::load_graph_timed(argv[1], common);
+    Graph g = loaded.graph.symmetrize();
     std::printf("graph (symmetrized): n=%zu m=%zu, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
+    std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
+                loaded.mode.c_str(), loaded.seconds,
+                (unsigned long long)loaded.bytes_mapped);
 
     Tracer tracer;
     AlgoOptions aopt;
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
     aopt.tracer = &tracer;
 
     MetricsDoc doc("bcc", algo, argv[1], g.num_vertices(), g.num_edges());
+    apps::record_load(doc, loaded);
 
     for (long long r = 0; r < common.repeats; ++r) {
       RunReport<BccResult> report = algo == "pasgal" ? fast_bcc(g, aopt)

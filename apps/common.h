@@ -10,6 +10,7 @@
 //   0 ok / 1 internal error / 2 usage / 3 bad input / 4 resource limit.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <new>
@@ -52,10 +53,17 @@ inline void guard_generated(std::uint64_t n, std::uint64_t m,
   check_allocation(need64, "generated graph '" + spec + "'").throw_if_error();
 }
 
+inline bool ends_with(const std::string& s, const char* suffix) {
+  std::size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
 }  // namespace internal
 
 // Graph sources:
 //   path ending in .adj / .bin        -> load from file (validated on read)
+//   path ending in .pgr               -> mmap zero-copy by default
+//                                        (see load_graph_timed for --load)
 //   "rmat:<log2n>:<m>[:seed]"         -> RMAT generator
 //   "grid:<rows>:<cols>"              -> undirected rectangle grid
 //   "road:<rows>:<cols>[:two_way_pct]"-> directed road grid
@@ -65,11 +73,11 @@ inline void guard_generated(std::uint64_t n, std::uint64_t m,
 // reported as usage errors; corrupt files surface the reader's typed error.
 inline Graph load_graph(const std::string& spec) {
   auto ends_with = [&](const char* suffix) {
-    std::size_t len = std::strlen(suffix);
-    return spec.size() >= len && spec.compare(spec.size() - len, len, suffix) == 0;
+    return internal::ends_with(spec, suffix);
   };
   if (ends_with(".adj")) return read_adj(spec);
   if (ends_with(".bin")) return read_bin(spec);
+  if (ends_with(".pgr")) return read_pgr(spec);
 
   internal::Spec s = internal::split_spec(spec);
   if (s.kind == "rmat") {
@@ -144,16 +152,64 @@ inline Graph load_graph(const std::string& spec) {
 }
 
 // Loads and optionally re-validates (file readers always validate; the
-// `--validate` app flag extends the same CSR check to generated graphs and
-// prints a confirmation so runs on trusted pipelines can prove integrity).
+// `--validate` app flag extends the same CSR check to generated graphs,
+// turns on the .pgr checksum + validate_csr pass, and prints a confirmation
+// so runs on trusted pipelines can prove integrity).
 inline Graph load_graph(const std::string& spec, bool validate) {
-  Graph g = load_graph(spec);
+  Graph g = internal::ends_with(spec, ".pgr")
+                ? read_pgr(spec, PgrOpen::kMmap, validate)
+                : load_graph(spec);
   if (validate) {
     g.validate().throw_if_error();
     std::printf("validate: ok (n=%zu m=%zu)\n", g.num_vertices(),
                 g.num_edges());
   }
   return g;
+}
+
+// A loaded graph plus how it was materialized, for telemetry: drivers record
+// the load mode, mapped bytes, and load wall time so the zero-copy claim is
+// checkable from the metrics document alone.
+struct LoadedGraph {
+  Graph graph;
+  std::string mode;  // "adj" | "bin" | "pgr-mmap" | "pgr-copy" | "generated"
+  std::uint64_t bytes_mapped = 0;
+  double seconds = 0;
+};
+
+inline LoadedGraph load_graph_timed(const std::string& spec,
+                                    const CommonOptions& common) {
+  auto t0 = std::chrono::steady_clock::now();
+  LoadedGraph out;
+  if (internal::ends_with(spec, ".pgr")) {
+    PgrOpen mode =
+        common.load_mode == "copy" ? PgrOpen::kCopy : PgrOpen::kMmap;
+    out.graph = read_pgr(spec, mode, common.validate);
+    out.mode = mode == PgrOpen::kCopy ? "pgr-copy" : "pgr-mmap";
+    if (common.validate) {
+      std::printf("validate: ok (n=%zu m=%zu)\n", out.graph.num_vertices(),
+                  out.graph.num_edges());
+    }
+  } else {
+    out.graph = load_graph(spec, common.validate);
+    out.mode = internal::ends_with(spec, ".adj")   ? "adj"
+               : internal::ends_with(spec, ".bin") ? "bin"
+                                                   : "generated";
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (out.graph.storage() != nullptr) {
+    out.bytes_mapped = out.graph.storage()->bytes_mapped();
+  }
+  return out;
+}
+
+inline void record_load(MetricsDoc& doc, const LoadedGraph& loaded) {
+  doc.set_param("load_mode", loaded.mode);
+  doc.set_param("load_bytes_mapped", loaded.bytes_mapped);
+  doc.set_param("load_wall_ns",
+                static_cast<std::uint64_t>(loaded.seconds * 1e9));
 }
 
 // --- driver scaffolding ------------------------------------------------------
@@ -167,9 +223,12 @@ inline void print_stats(const char* algo, double seconds, const RunStats& stats)
               (unsigned long long)stats.max_frontier());
 }
 
-// Emits the collected metrics document when --json-metrics was given.
-inline void finish_metrics(const CommonOptions& common, const MetricsDoc& doc) {
+// Emits the collected metrics document when --json-metrics was given. The
+// process peak RSS is stamped at emission time (the latest point we see), so
+// heap-vs-mmap load comparisons are readable straight from the document.
+inline void finish_metrics(const CommonOptions& common, MetricsDoc& doc) {
   if (common.json_metrics.empty()) return;
+  doc.set_param("peak_rss_bytes", peak_rss_bytes());
   write_metrics_json(common.json_metrics, doc).throw_if_error();
   std::printf("metrics: wrote %s (%zu trials)\n", common.json_metrics.c_str(),
               doc.num_trials());

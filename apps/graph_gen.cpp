@@ -1,6 +1,10 @@
-// Generator utility: write a generated graph to .adj or .bin.
+// Generator utility: write a generated graph to .adj, .bin, or .pgr.
 //
-//   graph_gen <spec> <output.{adj,bin}> [--validate] [--json-metrics <path>]
+//   graph_gen <spec> <output.{adj,bin,pgr}> [--transpose] [--validate]
+//             [--json-metrics <path>]
+//
+// --transpose embeds the reverse CSR as extra .pgr sections so readers get a
+// pre-populated transpose cache (rejected for other formats).
 //
 // The metrics document records one trial covering generation + write (no
 // rounds — generation has no frontier structure).
@@ -13,31 +17,40 @@
 using namespace pasgal;
 
 int main(int argc, char** argv) {
+  bool with_transpose = false;
   cli::OptionSet opts;
   cli::CommonOptions common;
+  opts.flag("--transpose", &with_transpose);
   common.declare(opts);
   if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin}> %s\n", argv[0],
-                 opts.usage().c_str());
+    std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin,pgr}> %s\n",
+                 argv[0], opts.usage().c_str());
     return 2;
   }
   return apps::run_app([&]() {
     opts.parse(argc, argv, 3);
     std::string out = argv[2];
     auto ends_with = [&](const char* suffix) {
-      std::size_t len = std::strlen(suffix);
-      return out.size() >= len &&
-             out.compare(out.size() - len, len, suffix) == 0;
+      return apps::internal::ends_with(out, suffix);
     };
-    if (!ends_with(".adj") && !ends_with(".bin")) {
+    if (!ends_with(".adj") && !ends_with(".bin") && !ends_with(".pgr")) {
       throw Error(ErrorCategory::kUsage,
-                  "output path '" + out + "' must end in .adj or .bin");
+                  "output path '" + out + "' must end in .adj, .bin, or .pgr");
+    }
+    if (with_transpose && !ends_with(".pgr")) {
+      throw Error(ErrorCategory::kUsage,
+                  "--transpose requires a .pgr output (other formats have no "
+                  "transpose sections)");
     }
     Tracer tracer;
     auto start = std::chrono::steady_clock::now();
     Graph g = apps::load_graph(argv[1], common.validate);
     if (ends_with(".bin")) {
       write_bin(g, out);
+    } else if (ends_with(".pgr")) {
+      PgrWriteOptions wopts;
+      wopts.include_transpose = with_transpose;
+      write_pgr(g, out, wopts);
     } else {
       write_adj(g, out);
     }

@@ -27,10 +27,14 @@ int main(int argc, char** argv) {
   return apps::run_app([&]() {
     opts.parse(argc, argv, 2);
 
-    Graph g = apps::load_graph(argv[1], common.validate);
+    apps::LoadedGraph loaded = apps::load_graph_timed(argv[1], common);
+    Graph& g = loaded.graph;
     Graph gt = g.transpose();
     std::printf("graph: n=%zu m=%zu, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
+    std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
+                loaded.mode.c_str(), loaded.seconds,
+                (unsigned long long)loaded.bytes_mapped);
 
     Tracer tracer;
     AlgoOptions aopt;
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
 
     MetricsDoc doc("scc", algo, argv[1], g.num_vertices(), g.num_edges());
     doc.set_param("tau", static_cast<std::uint64_t>(tau));
+    apps::record_load(doc, loaded);
 
     for (long long r = 0; r < common.repeats; ++r) {
       RunReport<std::vector<SccLabel>> report =

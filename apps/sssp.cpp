@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   return apps::run_app([&]() {
     opts.parse(argc, argv, 2);
 
-    auto g = gen::add_weights(apps::load_graph(argv[1], common.validate),
+    apps::LoadedGraph loaded = apps::load_graph_timed(argv[1], common);
+    auto g = gen::add_weights(loaded.graph,
                               static_cast<std::uint32_t>(max_weight));
     if (static_cast<std::size_t>(source) >= g.num_vertices()) {
       throw Error(ErrorCategory::kUsage,
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
     std::printf("graph: n=%zu m=%zu, source=%lld, algorithm=%s, workers=%d\n",
                 g.num_vertices(), g.num_edges(), source, algo.c_str(),
                 num_workers());
+    std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
+                loaded.mode.c_str(), loaded.seconds,
+                (unsigned long long)loaded.bytes_mapped);
 
     Tracer tracer;
     AlgoOptions aopt;
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
     doc.set_param("max_weight", static_cast<std::uint64_t>(max_weight));
     doc.set_param("delta", static_cast<std::uint64_t>(delta));
     doc.set_param("tau", static_cast<std::uint64_t>(tau));
+    apps::record_load(doc, loaded);
 
     for (long long r = 0; r < common.repeats; ++r) {
       RunReport<std::vector<Dist>> report =

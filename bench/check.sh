@@ -20,7 +20,7 @@ cmake --build "$prefix-san" -j > /dev/null
 
 echo "--- sanitized input-hardening tests ---"
 (cd "$prefix-san" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|app_exit_')
+    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|app_exit_|storage_')
 
 echo "--- sanitized app drivers (success paths, with metrics emission) ---"
 tmp="$(mktemp -d)"
@@ -35,6 +35,29 @@ trap 'rm -rf "$tmp"' EXIT
 echo "--- metrics schema gate (drivers + bench envelope) ---"
 "$prefix-san/apps/metrics_check" "$tmp"/bfs.json "$tmp"/sssp.json \
     "$tmp"/scc.json "$tmp"/bcc.json
+
+echo "--- storage backends (heap vs mmap must be observationally identical) ---"
+"$prefix-san/apps/graph_convert" "$tmp/grid.bin" "$tmp/grid.pgr" \
+    --transpose --validate > /dev/null
+for app in bfs scc bcc sssp; do
+  # Normalize per-run wall times and drop backend-specific lines so the diff
+  # compares algorithm results (counts, rounds, edges scanned) only.
+  normalize() {
+    grep -v -e '^load:' -e '^metrics:' | sed -E 's/: [0-9]+\.[0-9]+ s \|/: T s |/'
+  }
+  "$prefix-san/apps/$app" "$tmp/grid.pgr" --load mmap -r 1 \
+      --json-metrics "$tmp/${app}_mmap.json" | normalize > "$tmp/${app}_mmap.txt"
+  "$prefix-san/apps/$app" "$tmp/grid.pgr" --load copy -r 1 \
+      --json-metrics "$tmp/${app}_copy.json" | normalize > "$tmp/${app}_copy.txt"
+  diff "$tmp/${app}_mmap.txt" "$tmp/${app}_copy.txt" || {
+    echo "FAIL: $app output differs between mmap and copy backends" >&2; exit 1
+  }
+  "$prefix-san/apps/metrics_check" "$tmp/${app}_mmap.json" "$tmp/${app}_copy.json"
+done
+"$prefix-san/apps/graph_convert" "$tmp/grid.pgr" "$tmp/grid_rt.bin" > /dev/null
+cmp "$tmp/grid.bin" "$tmp/grid_rt.bin" || {
+  echo "FAIL: .bin -> .pgr -> .bin round-trip is not byte-identical" >&2; exit 1
+}
 
 echo "--- sanitized app drivers (failure paths must exit cleanly) ---"
 expect() { want="$1"; shift

@@ -5,14 +5,22 @@
 // A directed graph is a single CSR; algorithms needing reverse edges take an
 // explicitly-built transpose. Undirected graphs are stored symmetrized (every
 // edge appears in both directions), as in GBBS/PBBS.
+//
+// Storage model: a Graph is spans over a shared GraphStorage handle
+// (graphs/storage.h), which owns the arrays either as heap buffers or as an
+// mmap'd read-only `.pgr` segment. Copying a Graph shares the storage;
+// `transpose()` is memoized on the handle, so every copy (and every bench
+// variant) pays for the reverse CSR at most once.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "graphs/storage.h"
 #include "parlay/parallel.h"
 #include "parlay/primitives.h"
 #include "parlay/sort.h"
@@ -22,6 +30,9 @@ namespace pasgal {
 
 using VertexId = std::uint32_t;
 using EdgeId = std::uint64_t;
+
+static_assert(std::is_same_v<VertexId, StorageVertexId>);
+static_assert(std::is_same_v<EdgeId, StorageEdgeId>);
 
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 
@@ -48,12 +59,18 @@ struct WeightedEdge {
   W weight{};
 };
 
-// Unweighted CSR graph.
+// Unweighted CSR graph: span views over a shared storage handle.
 class Graph {
  public:
   Graph() = default;
   Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets)
-      : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+      : Graph(GraphStorage::owned(std::move(offsets), std::move(targets))) {}
+  explicit Graph(StorageRef storage)
+      : storage_(std::move(storage)),
+        offsets_(storage_ ? storage_->offsets()
+                          : std::span<const EdgeId>{}),
+        targets_(storage_ ? storage_->targets()
+                          : std::span<const VertexId>{}) {}
 
   std::size_t num_vertices() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -74,13 +91,19 @@ class Graph {
   std::span<const EdgeId> offsets() const { return offsets_; }
   std::span<const VertexId> targets() const { return targets_; }
 
+  // The memory behind the spans; shared with copies and cached transposes.
+  // Null only for a default-constructed (empty) graph.
+  const StorageRef& storage() const { return storage_; }
+
   // Builds a CSR from an edge list (duplicates preserved unless dedup=true;
   // self-loops preserved unless drop_self_loops=true). Stable counting-sort
   // construction; O(n + m) work.
   static Graph from_edges(std::size_t n, std::span<const Edge> edges,
                           bool dedup = false, bool drop_self_loops = false);
 
-  // Reverse of every edge.
+  // Reverse of every edge, with per-vertex sorted adjacency lists. Memoized
+  // on the storage handle: repeat calls (from any copy of this graph) return
+  // the cached reverse CSR without recomputing.
   Graph transpose() const;
 
   // Union of each edge with its reverse, deduplicated, self-loops dropped:
@@ -102,24 +125,56 @@ class Graph {
     return edges;
   }
 
-  friend bool operator==(const Graph&, const Graph&) = default;
+  // Content equality (same CSR arrays), independent of backend: a heap-built
+  // graph equals its mmap'd round-trip.
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return std::equal(a.offsets_.begin(), a.offsets_.end(),
+                      b.offsets_.begin(), b.offsets_.end()) &&
+           std::equal(a.targets_.begin(), a.targets_.end(),
+                      b.targets_.begin(), b.targets_.end());
+  }
 
  private:
-  std::vector<EdgeId> offsets_;   // size n+1
-  std::vector<VertexId> targets_; // size m
+  Graph transpose_uncached() const;
+
+  StorageRef storage_;
+  std::span<const EdgeId> offsets_;   // size n+1
+  std::span<const VertexId> targets_; // size m
 };
 
-// Weighted CSR graph; weight i belongs to targets()[i].
+// Weighted CSR graph; weight i belongs to targets()[i]. Weights live in the
+// same storage handle when W matches the on-disk weight type (so a weighted
+// `.pgr` maps zero-copy); otherwise they are an owned array shared between
+// copies.
 template <typename W>
 class WeightedGraph {
  public:
   WeightedGraph() = default;
   WeightedGraph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
-                std::vector<W> weights)
-      : graph_(std::move(offsets), std::move(targets)),
-        weights_(std::move(weights)) {}
+                std::vector<W> weights) {
+    if constexpr (std::is_same_v<W, StorageWeight>) {
+      graph_ = Graph(GraphStorage::owned(std::move(offsets),
+                                         std::move(targets),
+                                         std::move(weights)));
+      weights_ = graph_.storage()->weights();
+    } else {
+      graph_ = Graph(std::move(offsets), std::move(targets));
+      own_weights_ = std::make_shared<const std::vector<W>>(std::move(weights));
+      weights_ = *own_weights_;
+    }
+  }
   WeightedGraph(Graph g, std::vector<W> weights)
-      : graph_(std::move(g)), weights_(std::move(weights)) {}
+      : graph_(std::move(g)),
+        own_weights_(
+            std::make_shared<const std::vector<W>>(std::move(weights))) {
+    weights_ = *own_weights_;
+  }
+  // Adopts a storage handle that carries weights (the weighted `.pgr` path).
+  explicit WeightedGraph(StorageRef storage) : graph_(std::move(storage)) {
+    static_assert(std::is_same_v<W, StorageWeight>,
+                  "storage-backed weights are StorageWeight");
+    if (graph_.storage() != nullptr) weights_ = graph_.storage()->weights();
+  }
 
   std::size_t num_vertices() const { return graph_.num_vertices(); }
   std::size_t num_edges() const { return graph_.num_edges(); }
@@ -135,6 +190,8 @@ class WeightedGraph {
   EdgeId edge_end(VertexId v) const { return graph_.edge_end(v); }
   VertexId edge_target(EdgeId e) const { return graph_.edge_target(e); }
   W edge_weight(EdgeId e) const { return weights_[e]; }
+
+  std::span<const W> weights() const { return weights_; }
 
   const Graph& unweighted() const { return graph_; }
 
@@ -160,7 +217,10 @@ class WeightedGraph {
 
  private:
   Graph graph_;
-  std::vector<W> weights_;
+  // Set when weights are not storage-backed; shared so copies never repoint
+  // the span at a reallocated buffer.
+  std::shared_ptr<const std::vector<W>> own_weights_;
+  std::span<const W> weights_;
 };
 
 // ---------------------------------------------------------------------------
@@ -245,7 +305,7 @@ inline Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges,
   return Graph(std::move(new_offsets), std::move(new_targets));
 }
 
-inline Graph Graph::transpose() const {
+inline Graph Graph::transpose_uncached() const {
   std::size_t n = num_vertices();
   std::size_t m = num_edges();
   // Source of edge e: invert via offsets. Precompute per-edge source.
@@ -267,6 +327,15 @@ inline Graph Graph::transpose() const {
       },
       64);
   return Graph(std::move(offsets), std::move(targets));
+}
+
+inline Graph Graph::transpose() const {
+  if (storage_ == nullptr) return transpose_uncached();
+  if (StorageRef cached = storage_->transpose_cache()) {
+    return Graph(std::move(cached));
+  }
+  Graph t = transpose_uncached();
+  return Graph(storage_->set_transpose_cache(t.storage_));
 }
 
 inline Graph Graph::symmetrize() const {

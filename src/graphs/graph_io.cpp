@@ -1,10 +1,13 @@
 #include "graphs/graph_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "graphs/storage.h"
 #include "pasgal/resource.h"
 
 namespace pasgal {
@@ -30,25 +33,6 @@ std::uint64_t file_size_bytes(const std::string& path) {
   std::error_code ec;
   auto size = std::filesystem::file_size(path, ec);
   return ec ? 0 : static_cast<std::uint64_t>(size);
-}
-
-// Resource guard shared by every reader and generator-facing path: the
-// header-claimed sizes drive allocations, so they are cross-checked against
-// the memory ceiling *before* any vector is materialized. `bytes_per_vertex`
-// and `bytes_per_edge` describe the in-memory CSR footprint.
-void guard_claimed_sizes(const std::string& path, std::uint64_t n,
-                         std::uint64_t m, std::uint64_t bytes_per_vertex,
-                         std::uint64_t bytes_per_edge) {
-  unsigned __int128 need =
-      (static_cast<unsigned __int128>(n) + 1) * bytes_per_vertex +
-      static_cast<unsigned __int128>(m) * bytes_per_edge;
-  constexpr std::uint64_t kMax = static_cast<std::uint64_t>(-1);
-  std::uint64_t need64 = need > kMax ? kMax : static_cast<std::uint64_t>(need);
-  check_allocation(need64,
-                   "graph with n=" + std::to_string(n) +
-                       " m=" + std::to_string(m),
-                   path)
-      .throw_if_error();
 }
 
 // Plausibility floor for text formats: every offset/target/weight is at
@@ -95,6 +79,11 @@ void guard_bin_frame(const std::string& path, std::uint64_t claimed_bytes,
   }
 }
 
+void validate_or_fail(const Graph& g, const std::string& path) {
+  Status s = g.validate();
+  if (!s.ok()) fail(s.category(), path, s.message());
+}
+
 }  // namespace
 
 void write_adj(const Graph& g, const std::string& path) {
@@ -112,9 +101,11 @@ Graph read_adj(const std::string& path) {
   expect_header(in, path, "AdjacencyGraph");
   std::size_t n = 0, m = 0;
   if (!(in >> n >> m)) fail(ErrorCategory::kFormat, path, "bad n/m");
-  guard_claimed_sizes(path, n, m, sizeof(EdgeId), sizeof(VertexId));
+  GraphStorage::check_footprint(n, m, /*weighted=*/false, path)
+      .throw_if_error();
   guard_text_plausibility(path, static_cast<std::uint64_t>(n) + m);
-  std::vector<EdgeId> offsets(n + 1);
+  StorageRef storage = GraphStorage::allocate(n, m, /*weighted=*/false, path);
+  auto offsets = storage->mutable_offsets();
   for (std::size_t v = 0; v < n; ++v) {
     if (!(in >> offsets[v])) fail(ErrorCategory::kFormat, path,
                                   "truncated offsets (vertex " +
@@ -122,7 +113,7 @@ Graph read_adj(const std::string& path) {
                                       std::to_string(n) + ")");
   }
   offsets[n] = m;
-  std::vector<VertexId> targets(m);
+  auto targets = storage->mutable_targets();
   for (std::size_t e = 0; e < m; ++e) {
     if (!(in >> targets[e])) fail(ErrorCategory::kFormat, path,
                                   "truncated targets (edge " +
@@ -133,9 +124,8 @@ Graph read_adj(const std::string& path) {
     fail(ErrorCategory::kFormat, path,
          "trailing garbage after the last target: '" + extra + "'");
   }
-  Graph g(std::move(offsets), std::move(targets));
-  Status s = g.validate();
-  if (!s.ok()) fail(s.category(), path, s.message());
+  Graph g(std::move(storage));
+  validate_or_fail(g, path);
   return g;
 }
 
@@ -161,21 +151,21 @@ WeightedGraph<std::uint32_t> read_weighted_adj(const std::string& path) {
   expect_header(in, path, "WeightedAdjacencyGraph");
   std::size_t n = 0, m = 0;
   if (!(in >> n >> m)) fail(ErrorCategory::kFormat, path, "bad n/m");
-  guard_claimed_sizes(path, n, m,
-                      sizeof(EdgeId), sizeof(VertexId) + sizeof(std::uint32_t));
+  GraphStorage::check_footprint(n, m, /*weighted=*/true, path).throw_if_error();
   guard_text_plausibility(path, static_cast<std::uint64_t>(n) + 2 * m);
-  std::vector<EdgeId> offsets(n + 1);
+  StorageRef storage = GraphStorage::allocate(n, m, /*weighted=*/true, path);
+  auto offsets = storage->mutable_offsets();
   for (std::size_t v = 0; v < n; ++v) {
     if (!(in >> offsets[v])) fail(ErrorCategory::kFormat, path,
                                   "truncated offsets");
   }
   offsets[n] = m;
-  std::vector<VertexId> targets(m);
+  auto targets = storage->mutable_targets();
   for (std::size_t e = 0; e < m; ++e) {
     if (!(in >> targets[e])) fail(ErrorCategory::kFormat, path,
                                   "truncated targets");
   }
-  std::vector<std::uint32_t> weights(m);
+  auto weights = storage->mutable_weights();
   for (std::size_t e = 0; e < m; ++e) {
     if (!(in >> weights[e])) fail(ErrorCategory::kFormat, path,
                                   "truncated weights");
@@ -184,8 +174,7 @@ WeightedGraph<std::uint32_t> read_weighted_adj(const std::string& path) {
     fail(ErrorCategory::kFormat, path,
          "trailing garbage after the last weight: '" + extra + "'");
   }
-  WeightedGraph<std::uint32_t> g(std::move(offsets), std::move(targets),
-                                 std::move(weights));
+  WeightedGraph<std::uint32_t> g(std::move(storage));
   Status s = g.validate();
   if (!s.ok()) fail(s.category(), path, s.message());
   return g;
@@ -240,25 +229,21 @@ WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path) {
   in.read(reinterpret_cast<char*>(&size_bytes), sizeof(size_bytes));
   if (!in) fail(ErrorCategory::kFormat, path, "truncated header",
                 file_size_bytes(path));
-  guard_claimed_sizes(path, n, m,
-                      sizeof(std::uint64_t), 2 * sizeof(std::uint32_t));
+  GraphStorage::check_footprint(n, m, /*weighted=*/true, path).throw_if_error();
   unsigned __int128 expected =
       3 * sizeof(std::uint64_t) +
       (static_cast<unsigned __int128>(n) + 1) * sizeof(std::uint64_t) +
       static_cast<unsigned __int128>(m) * 2 * sizeof(std::uint32_t);
   guard_bin_frame(path, size_bytes, expected);
-  std::vector<EdgeId> offsets(n + 1);
-  std::vector<VertexId> targets(m);
-  std::vector<std::uint32_t> weights(m);
-  in.read(reinterpret_cast<char*>(offsets.data()),
+  StorageRef storage = GraphStorage::allocate(n, m, /*weighted=*/true, path);
+  in.read(reinterpret_cast<char*>(storage->mutable_offsets().data()),
           static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
-  in.read(reinterpret_cast<char*>(targets.data()),
+  in.read(reinterpret_cast<char*>(storage->mutable_targets().data()),
           static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
-  in.read(reinterpret_cast<char*>(weights.data()),
+  in.read(reinterpret_cast<char*>(storage->mutable_weights().data()),
           static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
   if (!in) fail(ErrorCategory::kFormat, path, "truncated body");
-  WeightedGraph<std::uint32_t> g(std::move(offsets), std::move(targets),
-                                 std::move(weights));
+  WeightedGraph<std::uint32_t> g(std::move(storage));
   Status s = g.validate();
   if (!s.ok()) fail(s.category(), path, s.message());
   return g;
@@ -273,23 +258,406 @@ Graph read_bin(const std::string& path) {
   in.read(reinterpret_cast<char*>(&size_bytes), sizeof(size_bytes));
   if (!in) fail(ErrorCategory::kFormat, path, "truncated header",
                 file_size_bytes(path));
-  guard_claimed_sizes(path, n, m, sizeof(std::uint64_t), sizeof(std::uint32_t));
+  GraphStorage::check_footprint(n, m, /*weighted=*/false, path)
+      .throw_if_error();
   unsigned __int128 expected =
       3 * sizeof(std::uint64_t) +
       (static_cast<unsigned __int128>(n) + 1) * sizeof(std::uint64_t) +
       static_cast<unsigned __int128>(m) * sizeof(std::uint32_t);
   guard_bin_frame(path, size_bytes, expected);
-  std::vector<EdgeId> offsets(n + 1);
-  std::vector<VertexId> targets(m);
-  in.read(reinterpret_cast<char*>(offsets.data()),
+  StorageRef storage = GraphStorage::allocate(n, m, /*weighted=*/false, path);
+  in.read(reinterpret_cast<char*>(storage->mutable_offsets().data()),
           static_cast<std::streamsize>((n + 1) * sizeof(std::uint64_t)));
-  in.read(reinterpret_cast<char*>(targets.data()),
+  in.read(reinterpret_cast<char*>(storage->mutable_targets().data()),
           static_cast<std::streamsize>(m * sizeof(std::uint32_t)));
   if (!in) fail(ErrorCategory::kFormat, path, "truncated body");
-  Graph g(std::move(offsets), std::move(targets));
-  Status s = g.validate();
-  if (!s.ok()) fail(s.category(), path, s.message());
+  Graph g(std::move(storage));
+  validate_or_fail(g, path);
   return g;
+}
+
+// --- .pgr -------------------------------------------------------------------
+//
+// Byte layout (all fields little-endian, as written by this host):
+//   [  0,   8)  magic "PGRGRAPH"
+//   [  8,  12)  u32 version (kPgrVersion)
+//   [ 12,  16)  u32 flags: bit0 weighted, bit1 symmetric, bit2 has_transpose
+//   [ 16,  24)  u64 n
+//   [ 24,  32)  u64 m
+//   [ 32,  40)  u64 number of non-empty sections
+//   [ 40, 160)  5 section-table entries of {u64 file offset, u64 bytes,
+//               u64 checksum}, canonical order: offsets, targets, weights,
+//               transpose offsets, transpose targets. Absent sections are
+//               all-zero entries.
+//   [160, 192)  reserved, must be zero
+// Sections follow, each starting on a 64-byte boundary (zero padding in the
+// gaps), in canonical order, with no trailing bytes after the last section.
+// The layout is fully determined by (n, m, flags); the reader recomputes it
+// and rejects any file whose table or size disagrees — so seeking past the
+// header is safe without trusting the table.
+
+namespace {
+
+constexpr char kPgrMagic[8] = {'P', 'G', 'R', 'G', 'R', 'A', 'P', 'H'};
+constexpr std::uint64_t kPgrHeaderBytes = 192;
+constexpr std::uint64_t kPgrAlign = 64;
+constexpr std::uint32_t kPgrFlagWeighted = 1u << 0;
+constexpr std::uint32_t kPgrFlagSymmetric = 1u << 1;
+constexpr std::uint32_t kPgrFlagTranspose = 1u << 2;
+constexpr std::uint32_t kPgrKnownFlags =
+    kPgrFlagWeighted | kPgrFlagSymmetric | kPgrFlagTranspose;
+constexpr int kPgrSections = 5;
+constexpr const char* kPgrSectionName[kPgrSections] = {
+    "offsets", "targets", "weights", "transpose offsets", "transpose targets"};
+
+struct PgrSection {
+  std::uint64_t off = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct PgrHeader {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t section_count = 0;
+  PgrSection sec[kPgrSections];
+
+  bool weighted() const { return flags & kPgrFlagWeighted; }
+  bool symmetric() const { return flags & kPgrFlagSymmetric; }
+  bool has_transpose() const { return flags & kPgrFlagTranspose; }
+};
+
+struct PgrLayout {
+  std::uint64_t off[kPgrSections] = {};
+  std::uint64_t bytes[kPgrSections] = {};
+  std::uint64_t total = 0;
+  std::uint64_t section_count = 0;
+};
+
+std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
+  return (x + a - 1) / a * a;
+}
+
+// Canonical section placement for (n, m, flags). Callers must have passed
+// the footprint check first so the size arithmetic cannot overflow.
+PgrLayout pgr_layout(std::uint64_t n, std::uint64_t m, bool weighted,
+                     bool has_transpose) {
+  PgrLayout layout;
+  const std::uint64_t sizes[kPgrSections] = {
+      (n + 1) * sizeof(EdgeId),
+      m * sizeof(VertexId),
+      weighted ? m * sizeof(std::uint32_t) : 0,
+      has_transpose ? (n + 1) * sizeof(EdgeId) : 0,
+      has_transpose ? m * sizeof(VertexId) : 0,
+  };
+  std::uint64_t pos = kPgrHeaderBytes;
+  for (int i = 0; i < kPgrSections; ++i) {
+    layout.bytes[i] = sizes[i];
+    if (sizes[i] == 0) continue;
+    pos = align_up(pos, kPgrAlign);
+    layout.off[i] = pos;
+    pos += sizes[i];
+    ++layout.section_count;
+  }
+  layout.total = pos;
+  return layout;
+}
+
+template <typename T>
+void put(std::span<char> buf, std::size_t at, T value) {
+  std::memcpy(buf.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T get(const std::byte* base, std::size_t at) {
+  T value;
+  std::memcpy(&value, base + at, sizeof(T));
+  return value;
+}
+
+// Parses and structurally checks the fixed-size header. Section bytes are
+// not touched.
+PgrHeader parse_pgr_header(const std::byte* base, std::uint64_t file_size,
+                           const std::string& path) {
+  if (file_size < kPgrHeaderBytes) {
+    fail(ErrorCategory::kFormat, path,
+         "truncated header: file has " + std::to_string(file_size) +
+             " bytes, the .pgr header is " + std::to_string(kPgrHeaderBytes),
+         file_size);
+  }
+  if (std::memcmp(base, kPgrMagic, sizeof(kPgrMagic)) != 0) {
+    fail(ErrorCategory::kFormat, path, "bad magic: not a .pgr file", 0);
+  }
+  PgrHeader h;
+  h.version = get<std::uint32_t>(base, 8);
+  h.flags = get<std::uint32_t>(base, 12);
+  h.n = get<std::uint64_t>(base, 16);
+  h.m = get<std::uint64_t>(base, 24);
+  h.section_count = get<std::uint64_t>(base, 32);
+  for (int i = 0; i < kPgrSections; ++i) {
+    std::size_t at = 40 + static_cast<std::size_t>(i) * 24;
+    h.sec[i].off = get<std::uint64_t>(base, at);
+    h.sec[i].bytes = get<std::uint64_t>(base, at + 8);
+    h.sec[i].checksum = get<std::uint64_t>(base, at + 16);
+  }
+  if (h.version != kPgrVersion) {
+    fail(ErrorCategory::kFormat, path,
+         "unsupported .pgr version " + std::to_string(h.version) +
+             " (this build reads version " + std::to_string(kPgrVersion) + ")",
+         8);
+  }
+  if (h.flags & ~kPgrKnownFlags) {
+    fail(ErrorCategory::kFormat, path,
+         "unknown flag bits 0x" + std::to_string(h.flags & ~kPgrKnownFlags),
+         12);
+  }
+  return h;
+}
+
+// Cross-checks header claims against the memory ceiling, the vertex-id
+// space, the canonical layout, and the actual file size. After this returns,
+// every section [off, off+bytes) is within the file and 64-byte aligned.
+void check_pgr_layout(const PgrHeader& h, std::uint64_t file_size,
+                      const std::string& path) {
+  // Resource check first (kResource beats kFormat for absurd claims, the
+  // same order the .adj/.bin readers use).
+  GraphStorage::check_footprint(h.n, h.m, h.weighted(), path).throw_if_error();
+  if (h.n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    fail(ErrorCategory::kValidation, path,
+         "vertex count " + std::to_string(h.n) +
+             " exceeds the 32-bit vertex-id space",
+         16);
+  }
+  PgrLayout layout = pgr_layout(h.n, h.m, h.weighted(), h.has_transpose());
+  if (h.section_count != layout.section_count) {
+    fail(ErrorCategory::kFormat, path,
+         "header lists " + std::to_string(h.section_count) +
+             " sections but n/m/flags imply " +
+             std::to_string(layout.section_count),
+         32);
+  }
+  for (int i = 0; i < kPgrSections; ++i) {
+    if (h.sec[i].off != layout.off[i] || h.sec[i].bytes != layout.bytes[i]) {
+      fail(ErrorCategory::kFormat, path,
+           std::string("section table entry for ") + kPgrSectionName[i] +
+               " is [" + std::to_string(h.sec[i].off) + ", +" +
+               std::to_string(h.sec[i].bytes) +
+               ") but the canonical layout for n/m/flags puts it at [" +
+               std::to_string(layout.off[i]) + ", +" +
+               std::to_string(layout.bytes[i]) + ")",
+           40 + static_cast<std::uint64_t>(i) * 24);
+    }
+  }
+  if (file_size != layout.total) {
+    fail(ErrorCategory::kFormat, path,
+         file_size < layout.total
+             ? "truncated: file has " + std::to_string(file_size) +
+                   " bytes, the section layout needs " +
+                   std::to_string(layout.total)
+             : std::to_string(file_size - layout.total) +
+                   " bytes of trailing garbage after the last section",
+         std::min(file_size, layout.total));
+  }
+}
+
+void check_pgr_checksums(const PgrHeader& h, const std::byte* base,
+                         const std::string& path) {
+  for (int i = 0; i < kPgrSections; ++i) {
+    if (h.sec[i].bytes == 0) continue;
+    std::uint64_t sum = hash_bytes(base + h.sec[i].off, h.sec[i].bytes);
+    if (sum != h.sec[i].checksum) {
+      fail(ErrorCategory::kFormat, path,
+           std::string("checksum mismatch in ") + kPgrSectionName[i] +
+               " section (stored " + std::to_string(h.sec[i].checksum) +
+               ", computed " + std::to_string(sum) + ")",
+           h.sec[i].off);
+    }
+  }
+}
+
+void write_pgr_impl(const Graph& g, bool weighted,
+                    std::span<const std::uint32_t> weights,
+                    const std::string& path, const PgrWriteOptions& opts) {
+  std::uint64_t n = g.num_vertices();
+  std::uint64_t m = g.num_edges();
+  Graph t;
+  if (opts.include_transpose) t = g.transpose();
+
+  // A default-constructed empty graph has no offset array; the format always
+  // stores n+1 offsets, so synthesize the canonical one.
+  static constexpr EdgeId kZeroOffset[1] = {0};
+  std::span<const EdgeId> offsets = g.offsets();
+  if (offsets.empty()) offsets = kZeroOffset;
+  std::span<const EdgeId> t_offsets = t.offsets();
+  if (opts.include_transpose && t_offsets.empty()) t_offsets = kZeroOffset;
+
+  const void* data[kPgrSections] = {
+      offsets.data(), g.targets().data(), weights.data(), t_offsets.data(),
+      t.targets().data()};
+  PgrLayout layout = pgr_layout(n, m, weighted, opts.include_transpose);
+
+  std::vector<char> header(kPgrHeaderBytes, 0);
+  std::memcpy(header.data(), kPgrMagic, sizeof(kPgrMagic));
+  put(std::span<char>(header), 8, kPgrVersion);
+  std::uint32_t flags = (weighted ? kPgrFlagWeighted : 0) |
+                        (opts.symmetric ? kPgrFlagSymmetric : 0) |
+                        (opts.include_transpose ? kPgrFlagTranspose : 0);
+  put(std::span<char>(header), 12, flags);
+  put(std::span<char>(header), 16, n);
+  put(std::span<char>(header), 24, m);
+  put(std::span<char>(header), 32, layout.section_count);
+  for (int i = 0; i < kPgrSections; ++i) {
+    std::size_t at = 40 + static_cast<std::size_t>(i) * 24;
+    put(std::span<char>(header), at, layout.off[i]);
+    put(std::span<char>(header), at + 8, layout.bytes[i]);
+    if (layout.bytes[i] != 0) {
+      put(std::span<char>(header), at + 16,
+          hash_bytes(data[i], layout.bytes[i]));
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(ErrorCategory::kIo, path, "cannot open for writing");
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  std::uint64_t pos = kPgrHeaderBytes;
+  static constexpr char kPad[kPgrAlign] = {};
+  for (int i = 0; i < kPgrSections; ++i) {
+    if (layout.bytes[i] == 0) continue;
+    out.write(kPad, static_cast<std::streamsize>(layout.off[i] - pos));
+    out.write(static_cast<const char*>(data[i]),
+              static_cast<std::streamsize>(layout.bytes[i]));
+    pos = layout.off[i] + layout.bytes[i];
+  }
+  if (!out) fail(ErrorCategory::kIo, path, "write error");
+}
+
+// Shared open path for read_pgr / read_weighted_pgr / probe_pgr.
+struct OpenedPgr {
+  StorageRef storage;
+  PgrInfo info;
+};
+
+PgrInfo info_of(const PgrHeader& h, std::uint64_t file_size) {
+  PgrInfo info;
+  info.n = h.n;
+  info.m = h.m;
+  info.weighted = h.weighted();
+  info.symmetric = h.symmetric();
+  info.has_transpose = h.has_transpose();
+  info.file_bytes = file_size;
+  return info;
+}
+
+OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
+  auto map = std::make_shared<const MappedFile>(MappedFile::open(path));
+  const std::byte* base = map->data();
+  PgrHeader h = parse_pgr_header(base, map->size(), path);
+  check_pgr_layout(h, map->size(), path);
+  // The copy path always gets the full untrusted-input treatment; the mmap
+  // path verifies content only on request (O(1) open).
+  bool deep = validate || mode == PgrOpen::kCopy;
+  if (deep) check_pgr_checksums(h, base, path);
+
+  std::span<const EdgeId> offsets{
+      reinterpret_cast<const EdgeId*>(base + h.sec[0].off), h.n + 1};
+  std::span<const VertexId> targets{
+      h.m ? reinterpret_cast<const VertexId*>(base + h.sec[1].off) : nullptr,
+      h.m};
+  std::span<const std::uint32_t> weights;
+  if (h.weighted() && h.m != 0) {
+    weights = {reinterpret_cast<const std::uint32_t*>(base + h.sec[2].off),
+               h.m};
+  }
+
+  OpenedPgr out;
+  out.info = info_of(h, map->size());
+  if (mode == PgrOpen::kMmap) {
+    out.storage = GraphStorage::mapped(map, path, offsets, targets, weights);
+    if (h.has_transpose()) {
+      std::span<const EdgeId> t_offsets{
+          reinterpret_cast<const EdgeId*>(base + h.sec[3].off), h.n + 1};
+      std::span<const VertexId> t_targets{
+          h.m ? reinterpret_cast<const VertexId*>(base + h.sec[4].off)
+              : nullptr,
+          h.m};
+      if (deep) {
+        Status s = validate_csr(t_offsets, t_targets);
+        if (!s.ok()) {
+          fail(s.category(), path, "transpose sections: " + s.message());
+        }
+      }
+      out.storage->set_transpose_cache(
+          GraphStorage::mapped(map, path, t_offsets, t_targets, {}));
+    }
+  } else {
+    StorageRef s = GraphStorage::allocate(h.n, h.m, h.weighted(), path);
+    std::memcpy(s->mutable_offsets().data(), offsets.data(),
+                offsets.size_bytes());
+    if (h.m != 0) {
+      std::memcpy(s->mutable_targets().data(), targets.data(),
+                  targets.size_bytes());
+      if (h.weighted()) {
+        std::memcpy(s->mutable_weights().data(), weights.data(),
+                    weights.size_bytes());
+      }
+    }
+    if (h.has_transpose()) {
+      StorageRef t =
+          GraphStorage::allocate(h.n, h.m, /*weighted=*/false, path);
+      std::memcpy(t->mutable_offsets().data(), base + h.sec[3].off,
+                  h.sec[3].bytes);
+      if (h.m != 0) {
+        std::memcpy(t->mutable_targets().data(), base + h.sec[4].off,
+                    h.sec[4].bytes);
+      }
+      Status ts = validate_csr(t->offsets(), t->targets());
+      if (!ts.ok()) {
+        fail(ts.category(), path, "transpose sections: " + ts.message());
+      }
+      s->set_transpose_cache(std::move(t));
+    }
+    out.storage = std::move(s);
+  }
+  if (deep) {
+    Status s = validate_csr(out.storage->offsets(), out.storage->targets());
+    if (!s.ok()) fail(s.category(), path, s.message());
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_pgr(const Graph& g, const std::string& path,
+               const PgrWriteOptions& opts) {
+  write_pgr_impl(g, /*weighted=*/false, {}, path, opts);
+}
+
+void write_pgr(const WeightedGraph<std::uint32_t>& g, const std::string& path,
+               const PgrWriteOptions& opts) {
+  write_pgr_impl(g.unweighted(), /*weighted=*/true, g.weights(), path, opts);
+}
+
+Graph read_pgr(const std::string& path, PgrOpen mode, bool validate) {
+  return Graph(open_pgr(path, mode, validate).storage);
+}
+
+WeightedGraph<std::uint32_t> read_weighted_pgr(const std::string& path,
+                                               PgrOpen mode, bool validate) {
+  OpenedPgr opened = open_pgr(path, mode, validate);
+  if (!opened.info.weighted) {
+    fail(ErrorCategory::kFormat, path,
+         "file has no weights section; use read_pgr / an unweighted driver");
+  }
+  return WeightedGraph<std::uint32_t>(std::move(opened.storage));
+}
+
+PgrInfo probe_pgr(const std::string& path) {
+  MappedFile map = MappedFile::open(path);
+  PgrHeader h = parse_pgr_header(map.data(), map.size(), path);
+  check_pgr_layout(h, map.size(), path);
+  return info_of(h, map.size());
 }
 
 }  // namespace pasgal

@@ -1,4 +1,4 @@
-// Graph serialization in the two formats PASGAL supports:
+// Graph serialization in the three formats PASGAL supports:
 //  * `.adj`  — PBBS text AdjacencyGraph format:
 //              "AdjacencyGraph\n<n>\n<m>\n" then n offsets, then m targets,
 //              one integer per line. Weighted variant uses
@@ -6,13 +6,29 @@
 //  * `.bin`  — GBBS binary CSR format: three u64 header words
 //              (n, m, total size in bytes) followed by (n+1) u64 offsets and
 //              m u32 targets.
+//  * `.pgr`  — PASGAL's versioned binary CSR, designed for zero-copy mmap
+//              loading. See DESIGN.md "Graph storage & on-disk format" for
+//              the byte-level layout; in brief: a 192-byte header (magic
+//              "PGRGRAPH", u32 version, u32 flags for weighted / symmetric /
+//              embedded transpose, u64 n / m / section count, and a fixed
+//              5-slot section table of {file offset, bytes, checksum}),
+//              followed by 64-byte-aligned sections in canonical order:
+//              offsets, targets, weights, transpose offsets, transpose
+//              targets. Checksums are xxhash-style 64-bit digests
+//              (graphs/storage.h hash_bytes).
 //
 // Readers treat every byte as untrusted (see DESIGN.md "Error handling"):
 //  * header-claimed sizes are cross-checked against the actual file size and
-//    the process memory ceiling (pasgal/resource.h) before any allocation;
+//    the process memory ceiling (via GraphStorage::check_footprint) before
+//    any allocation or span construction;
 //  * truncation and trailing garbage are rejected as kFormat errors;
 //  * the resulting CSR is run through validate_csr() (monotone offsets,
-//    offsets[n] == m, targets in bounds) before being returned.
+//    offsets[n] == m, targets in bounds) before being returned — except on
+//    the `.pgr` mmap fast path, which by design is O(1): it verifies the
+//    header/layout structurally and defers per-element checks and section
+//    checksums to the opt-in `validate` flag (`.pgr` files are a cache
+//    format produced by our own writers; `--validate` restores the full
+//    untrusted-input treatment).
 // All failures throw a typed pasgal::Error carrying the path and, where
 // meaningful, the byte offset of the violation.
 #pragma once
@@ -37,5 +53,57 @@ Graph read_bin(const std::string& path);
 // weights (the layout GBBS uses for its weighted .bin graphs).
 void write_bin(const WeightedGraph<std::uint32_t>& g, const std::string& path);
 WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path);
+
+// --- .pgr: versioned mmap-able CSR ------------------------------------------
+
+inline constexpr std::uint32_t kPgrVersion = 1;
+
+// How read_pgr materializes the CSR arrays.
+//  * kMmap — map the file read-only and hand out spans into it: O(1) open,
+//    no full-file copy, RSS bounded by pages actually touched, page cache
+//    shared across concurrent runs. The Graph keeps the mapping alive.
+//  * kCopy — copy the sections into heap-backed storage (through the same
+//    resource-ceiling guard as read_bin) and drop the mapping: use when the
+//    file may be replaced underneath a long-lived process.
+enum class PgrOpen { kMmap, kCopy };
+
+struct PgrWriteOptions {
+  // Persist the reverse CSR as extra sections so the mmap open path can
+  // pre-populate the transpose cache (SCC/BCC drivers skip rebuilding gt).
+  bool include_transpose = false;
+  // Caller-asserted symmetry (recorded in the header flags; not verified —
+  // is_symmetric() is a full transpose + compare).
+  bool symmetric = false;
+};
+
+// Header summary of a .pgr file without loading its sections.
+struct PgrInfo {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  bool weighted = false;
+  bool symmetric = false;
+  bool has_transpose = false;
+  std::uint64_t file_bytes = 0;
+};
+
+void write_pgr(const Graph& g, const std::string& path,
+               const PgrWriteOptions& opts = {});
+void write_pgr(const WeightedGraph<std::uint32_t>& g, const std::string& path,
+               const PgrWriteOptions& opts = {});
+
+// Opens a .pgr file. `validate` additionally verifies every section checksum
+// and runs the full validate_csr pass (always on for kCopy, opt-in for
+// kMmap — the O(1) promise). A file with embedded transpose sections comes
+// back with the transpose cache pre-populated, sharing the same mapping.
+Graph read_pgr(const std::string& path, PgrOpen mode = PgrOpen::kMmap,
+               bool validate = false);
+// Requires the weighted flag; weights map zero-copy alongside the topology.
+WeightedGraph<std::uint32_t> read_weighted_pgr(
+    const std::string& path, PgrOpen mode = PgrOpen::kMmap,
+    bool validate = false);
+
+// Header-only peek: parses and structurally checks the header (magic,
+// version, flags, layout vs file size) without touching section bytes.
+PgrInfo probe_pgr(const std::string& path);
 
 }  // namespace pasgal

@@ -1,0 +1,167 @@
+#include "graphs/storage.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "pasgal/resource.h"
+
+namespace pasgal {
+
+// --- content checksum --------------------------------------------------------
+//
+// xxhash-style: each 8-byte little-endian lane is folded in with a
+// multiply-rotate-multiply step; the tail is padded with its own length so
+// "AB" + "C" and "A" + "BC" differ; the finalizer is splitmix64's avalanche.
+
+namespace {
+
+constexpr std::uint64_t kLaneMul1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kLaneMul2 = 0xC2B2AE3D27D4EB4FULL;
+
+inline std::uint64_t avalanche(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t hash_bytes(const void* data, std::size_t len,
+                         std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t acc = seed ^ (static_cast<std::uint64_t>(len) * kLaneMul1);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, p + i, 8);
+    acc ^= std::rotl(lane * kLaneMul1, 31) * kLaneMul2;
+    acc = std::rotl(acc, 27) * kLaneMul1 + kLaneMul2;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t b = 0; i + b < len; ++b) {
+    tail |= static_cast<std::uint64_t>(p[i + b]) << (8 * b);
+  }
+  acc ^= std::rotl(tail * kLaneMul2, 17) * kLaneMul1;
+  return avalanche(acc);
+}
+
+// --- MappedFile --------------------------------------------------------------
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw Error(ErrorCategory::kIo,
+                std::string("cannot open for mapping: ") + std::strerror(errno),
+                path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw Error(ErrorCategory::kIo,
+                std::string("fstat failed: ") + std::strerror(err), path);
+  }
+  MappedFile out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ == 0) {
+    ::close(fd);
+    return out;  // mmap rejects length 0; an empty file maps to nothing
+  }
+  void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  int err = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    throw Error(ErrorCategory::kIo,
+                std::string("mmap failed: ") + std::strerror(err), path);
+  }
+  // Readahead hint: CSR consumers scan offsets/targets mostly sequentially.
+  // Advisory only — failure is not an error.
+  ::madvise(addr, out.size_, MADV_WILLNEED);
+  out.data_ = static_cast<const std::byte*>(addr);
+  return out;
+}
+
+// --- GraphStorage ------------------------------------------------------------
+
+StorageRef GraphStorage::owned(std::vector<StorageEdgeId> offsets,
+                               std::vector<StorageVertexId> targets,
+                               std::vector<StorageWeight> weights) {
+  auto s = StorageRef(new GraphStorage());
+  s->backend_ = Backend::kHeap;
+  s->own_offsets_ = std::move(offsets);
+  s->own_targets_ = std::move(targets);
+  s->own_weights_ = std::move(weights);
+  s->offsets_ = s->own_offsets_;
+  s->targets_ = s->own_targets_;
+  s->weights_ = s->own_weights_;
+  return s;
+}
+
+Status GraphStorage::check_footprint(std::uint64_t n, std::uint64_t m,
+                                     bool weighted, const std::string& path) {
+  std::uint64_t bytes_per_edge =
+      sizeof(StorageVertexId) + (weighted ? sizeof(StorageWeight) : 0);
+  unsigned __int128 need =
+      (static_cast<unsigned __int128>(n) + 1) * sizeof(StorageEdgeId) +
+      static_cast<unsigned __int128>(m) * bytes_per_edge;
+  constexpr std::uint64_t kMax = static_cast<std::uint64_t>(-1);
+  std::uint64_t need64 = need > kMax ? kMax : static_cast<std::uint64_t>(need);
+  return check_allocation(need64,
+                          "graph with n=" + std::to_string(n) +
+                              " m=" + std::to_string(m),
+                          path);
+}
+
+StorageRef GraphStorage::allocate(std::uint64_t n, std::uint64_t m,
+                                  bool weighted, const std::string& path) {
+  check_footprint(n, m, weighted, path).throw_if_error();
+  auto s = owned(std::vector<StorageEdgeId>(n + 1),
+                 std::vector<StorageVertexId>(m),
+                 weighted ? std::vector<StorageWeight>(m)
+                          : std::vector<StorageWeight>{});
+  s->source_path_ = path;
+  return s;
+}
+
+StorageRef GraphStorage::mapped(std::shared_ptr<const MappedFile> file,
+                                const std::string& path,
+                                std::span<const StorageEdgeId> offsets,
+                                std::span<const StorageVertexId> targets,
+                                std::span<const StorageWeight> weights) {
+  auto s = StorageRef(new GraphStorage());
+  s->backend_ = Backend::kMmap;
+  s->map_ = std::move(file);
+  s->offsets_ = offsets;
+  s->targets_ = targets;
+  s->weights_ = weights;
+  s->source_path_ = path;
+  return s;
+}
+
+StorageRef GraphStorage::transpose_cache() const {
+  std::lock_guard<std::mutex> lock(transpose_mu_);
+  return transpose_;
+}
+
+StorageRef GraphStorage::set_transpose_cache(StorageRef t) {
+  std::lock_guard<std::mutex> lock(transpose_mu_);
+  if (transpose_ == nullptr) transpose_ = std::move(t);
+  return transpose_;
+}
+
+}  // namespace pasgal

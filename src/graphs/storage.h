@@ -1,0 +1,166 @@
+// GraphStorage: the memory behind a CSR graph, decoupled from the Graph API.
+//
+// A storage handle owns the offsets/targets/weights arrays either as heap
+// buffers (the classic path: readers and builders fill freshly allocated
+// vectors) or as views into a read-only memory-mapped `.pgr` file segment
+// (RAII munmap; see graph_io.h for the on-disk format). `Graph` and
+// `WeightedGraph` hold a shared handle plus `std::span` views into it, so
+// every algorithm consumes the same spans regardless of backend and copies
+// of a graph share one storage.
+//
+// The handle also memoizes the graph's transpose: the first
+// `Graph::transpose()` on a given storage computes and caches the reverse
+// CSR (itself a storage handle), so drivers and benches that need `gt` for
+// several variants build it once. A `.pgr` file written with
+// `include_transpose` carries the transpose as extra sections, and the mmap
+// open path pre-populates the cache from them — reverse edges then cost no
+// construction work at all.
+//
+// Allocation discipline: every heap allocation whose size is dictated by
+// untrusted input goes through `allocate()`, which checks the CSR byte
+// footprint (128-bit math) against the `pasgal/resource.h` ceiling before
+// any vector is materialized. This is the single guard point the file
+// readers previously duplicated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pasgal/error.h"
+
+namespace pasgal {
+
+// Mirrors graph.h (storage.h must not include graph.h: Graph holds a
+// storage handle, so the dependency points the other way).
+using StorageEdgeId = std::uint64_t;
+using StorageVertexId = std::uint32_t;
+using StorageWeight = std::uint32_t;
+
+// xxhash-style 64-bit content checksum: 8-byte lanes folded with
+// multiply-rotate mixing plus an avalanche finalizer. Used for the
+// per-section checksums of the `.pgr` format; not cryptographic.
+std::uint64_t hash_bytes(const void* data, std::size_t len,
+                         std::uint64_t seed = 0);
+
+// Read-only mmap of a whole file (RAII: munmap on destruction; the fd is
+// closed right after mapping). Move-only.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  // Maps `path` read-only and applies an MADV_WILLNEED hint (sequential CSR
+  // scans want readahead). Throws kIo on open/map failure.
+  static MappedFile open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void swap(MappedFile& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class GraphStorage;
+using StorageRef = std::shared_ptr<GraphStorage>;
+
+// Move-only owner of one graph's CSR memory. Always held via shared_ptr
+// (StorageRef) so graphs, their copies, and cached transposes share it.
+class GraphStorage {
+ public:
+  enum class Backend { kHeap, kMmap };
+
+  GraphStorage(const GraphStorage&) = delete;
+  GraphStorage& operator=(const GraphStorage&) = delete;
+
+  // Heap backend from already-built arrays (builders, generators,
+  // transpose/symmetrize results). No ceiling check: the arrays exist.
+  static StorageRef owned(std::vector<StorageEdgeId> offsets,
+                          std::vector<StorageVertexId> targets,
+                          std::vector<StorageWeight> weights = {});
+
+  // CSR byte footprint ((n+1) offsets, m targets, m weights if `weighted`)
+  // checked against the memory ceiling, 128-bit math. kResource Status when
+  // the claim exceeds the ceiling; `path` names the input for diagnostics.
+  // Readers run this on untrusted header claims *before* cheaper format
+  // plausibility checks so absurd claims always classify as kResource.
+  static Status check_footprint(std::uint64_t n, std::uint64_t m,
+                                bool weighted, const std::string& path);
+
+  // Heap backend sized from untrusted header claims: check_footprint(), then
+  // allocate. Throws kResource when the claim exceeds the ceiling. The
+  // readers fill the arrays through the mutable_* accessors.
+  static StorageRef allocate(std::uint64_t n, std::uint64_t m, bool weighted,
+                             const std::string& path);
+
+  // Mmap backend: shares ownership of the mapping (a `.pgr` with embedded
+  // transpose sections backs two storage handles with one mapping); the
+  // spans must point into it (the `.pgr` reader computes them from the
+  // section table).
+  static StorageRef mapped(std::shared_ptr<const MappedFile> file,
+                           const std::string& path,
+                           std::span<const StorageEdgeId> offsets,
+                           std::span<const StorageVertexId> targets,
+                           std::span<const StorageWeight> weights);
+
+  std::span<const StorageEdgeId> offsets() const { return offsets_; }
+  std::span<const StorageVertexId> targets() const { return targets_; }
+  std::span<const StorageWeight> weights() const { return weights_; }
+
+  // Heap backend only (readers filling a fresh allocation). The const views
+  // above stay valid: vectors never reallocate after allocate().
+  std::span<StorageEdgeId> mutable_offsets() { return own_offsets_; }
+  std::span<StorageVertexId> mutable_targets() { return own_targets_; }
+  std::span<StorageWeight> mutable_weights() { return own_weights_; }
+
+  Backend backend() const { return backend_; }
+  // Bytes of file backing this storage (0 for heap): the mmap never copies,
+  // so this is the graph's entire load-time I/O footprint.
+  std::uint64_t bytes_mapped() const {
+    return map_ != nullptr ? map_->size() : 0;
+  }
+  // Path of the backing file, when there is one (diagnostics, telemetry).
+  const std::string& source_path() const { return source_path_; }
+
+  // --- transpose memoization -------------------------------------------------
+  // The cached transpose of the graph this storage backs, or null. The cache
+  // is keyed by identity: two Graph copies sharing this handle share it.
+  StorageRef transpose_cache() const;
+  // First-wins publish (concurrent transposes both compute; one result is
+  // kept). Returns the cached handle all callers should use.
+  StorageRef set_transpose_cache(StorageRef t);
+
+ private:
+  GraphStorage() = default;
+
+  Backend backend_ = Backend::kHeap;
+  std::vector<StorageEdgeId> own_offsets_;
+  std::vector<StorageVertexId> own_targets_;
+  std::vector<StorageWeight> own_weights_;
+  std::shared_ptr<const MappedFile> map_;
+  std::span<const StorageEdgeId> offsets_;
+  std::span<const StorageVertexId> targets_;
+  std::span<const StorageWeight> weights_;
+  std::string source_path_;
+
+  mutable std::mutex transpose_mu_;
+  StorageRef transpose_;
+};
+
+}  // namespace pasgal

@@ -168,6 +168,7 @@ void CommonOptions::declare(OptionSet& opts) {
   opts.integer("-r", &repeats, 1, 1000000, "repeats");
   opts.flag("--validate", &validate);
   opts.text("--json-metrics", &json_metrics, "path");
+  opts.choice("--load", &load_mode, {"mmap", "copy"});
 }
 
 }  // namespace pasgal::cli

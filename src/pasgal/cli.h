@@ -143,6 +143,10 @@ struct CommonOptions {
   bool validate = false;
   long long repeats = 3;
   std::string json_metrics;
+  // How `.pgr` inputs are materialized: "mmap" (zero-copy spans into the
+  // file) or "copy" (heap-backed, full validation). Ignored for other
+  // formats, which always copy.
+  std::string load_mode = "mmap";
 
   void declare(OptionSet& opts);
 };

@@ -50,6 +50,21 @@ inline std::uint64_t memory_limit_bytes() {
   return limit;
 }
 
+// Peak resident set size of this process so far, in bytes (0 if the kernel
+// does not report it). Recorded in run telemetry: the mmap load path should
+// show a peak well below the heap path for the same graph, because pages of
+// the mapping are counted only once touched.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::uint64_t kb = std::strtoull(line.c_str() + 6, nullptr, 10);
+    return kb * 1024;
+  }
+  return 0;
+}
+
 // Status check that `bytes` (the total an input claims to need) fits under
 // the ceiling. `what` names the allocation for the diagnostic; `file` is the
 // input file driving it, if any.

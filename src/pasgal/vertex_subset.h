@@ -1,8 +1,15 @@
 // VertexSubset: a frontier in either sparse (vertex list) or dense
 // (byte mask) representation, mirroring the Ligra/GBBS abstraction the
 // baselines in the paper are built on.
+//
+// Invariant: the sparse vertex list is always sorted ascending. Frontiers
+// coming out of edge_map are nearly sorted already (they are filters over
+// per-vertex sorted runs), so the is_sorted guard below makes maintaining
+// the invariant close to free while `contains` gets to binary-search
+// instead of scanning the whole frontier.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -18,6 +25,9 @@ class VertexSubset {
     VertexSubset s;
     s.n_ = n;
     s.sparse_ = std::move(vertices);
+    if (!std::is_sorted(s.sparse_.begin(), s.sparse_.end())) {
+      std::sort(s.sparse_.begin(), s.sparse_.end());
+    }
     s.is_dense_ = false;
     return s;
   }
@@ -43,15 +53,14 @@ class VertexSubset {
   std::size_t size() const { return is_dense_ ? dense_count_ : sparse_.size(); }
   bool empty() const { return size() == 0; }
 
+  // Sorted ascending (class invariant; to_sparse packs by index, so the
+  // dense->sparse conversion preserves it without a sort).
   const std::vector<VertexId>& sparse_vertices() const { return sparse_; }
   const std::vector<std::uint8_t>& dense_mask() const { return dense_; }
 
   bool contains(VertexId v) const {
     if (is_dense_) return dense_[v] != 0;
-    for (VertexId u : sparse_) {
-      if (u == v) return true;
-    }
-    return false;
+    return std::binary_search(sparse_.begin(), sparse_.end(), v);
   }
 
   // Conversions (parallel).

@@ -37,8 +37,11 @@ TEST(Determinism, GeneratorsScheduleIndependent) {
 
 TEST(Determinism, TransposeAndSymmetrizeScheduleIndependent) {
   Graph g = gen::rmat(11, 12000, 3);
-  auto t1 = with_workers(1, [&] { return g.transpose(); });
-  auto t4 = with_workers(4, [&] { return g.transpose(); });
+  // transpose() memoizes per storage handle, so a second call on the same
+  // graph would just return the cached result — build a fresh copy of the
+  // graph for each worker count to actually exercise both schedules.
+  auto t1 = with_workers(1, [] { return gen::rmat(11, 12000, 3).transpose(); });
+  auto t4 = with_workers(4, [] { return gen::rmat(11, 12000, 3).transpose(); });
   EXPECT_EQ(t1, t4);
   auto s1 = with_workers(1, [&] { return g.symmetrize(); });
   auto s4 = with_workers(4, [&] { return g.symmetrize(); });

@@ -139,5 +139,99 @@ TEST_F(GraphIoTest, RejectsTruncatedAdj) {
   EXPECT_THROW(read_adj(path), std::runtime_error);
 }
 
+// --- .pgr (mmap-able native format) -----------------------------------------
+
+TEST_F(GraphIoTest, PgrRoundTripMmapAndCopy) {
+  Graph g = random_graph(300, 2500, 5);
+  auto path = temp_path("g.pgr");
+  write_pgr(g, path);
+  EXPECT_EQ(read_pgr(path, PgrOpen::kMmap), g);
+  EXPECT_EQ(read_pgr(path, PgrOpen::kCopy), g);
+  EXPECT_EQ(read_pgr(path, PgrOpen::kMmap, /*validate=*/true), g);
+}
+
+TEST_F(GraphIoTest, PgrRoundTripWeighted) {
+  std::vector<WeightedEdge<std::uint32_t>> edges;
+  Random rng(6);
+  for (std::size_t i = 0; i < 1100; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.ith_rand(3 * i) % 70),
+                     static_cast<VertexId>(rng.ith_rand(3 * i + 1) % 70),
+                     static_cast<std::uint32_t>(rng.ith_rand(3 * i + 2))});
+  }
+  auto g = WeightedGraph<std::uint32_t>::from_edges(70, edges);
+  auto path = temp_path("g.wpgr.pgr");
+  write_pgr(g, path);
+  for (auto mode : {PgrOpen::kMmap, PgrOpen::kCopy}) {
+    auto back = read_weighted_pgr(path, mode);
+    EXPECT_EQ(back.unweighted(), g.unweighted());
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      ASSERT_EQ(back.edge_weight(e), g.edge_weight(e));
+    }
+  }
+}
+
+TEST_F(GraphIoTest, PgrEmptyAndSingleVertexGraphs) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    Graph g = Graph::from_edges(n, {});
+    auto path = temp_path("tiny" + std::to_string(n) + ".pgr");
+    write_pgr(g, path);
+    Graph back = read_pgr(path);
+    EXPECT_EQ(back.num_vertices(), n);
+    EXPECT_EQ(back.num_edges(), 0u);
+    EXPECT_EQ(back, g);
+  }
+}
+
+TEST_F(GraphIoTest, PgrEmbeddedTransposeMatchesRebuilt) {
+  Graph g = random_graph(250, 2000, 7);
+  auto path = temp_path("t.pgr");
+  PgrWriteOptions opts;
+  opts.include_transpose = true;
+  write_pgr(g, path, opts);
+  for (auto mode : {PgrOpen::kMmap, PgrOpen::kCopy}) {
+    Graph back = read_pgr(path, mode, /*validate=*/true);
+    // The embedded transpose sections pre-populate the cache; it must be
+    // exactly what transpose() would have computed.
+    EXPECT_EQ(back.transpose(), g.transpose());
+  }
+}
+
+TEST_F(GraphIoTest, PgrProbeReportsHeader) {
+  Graph g = random_graph(120, 900, 9);
+  auto path = temp_path("p.pgr");
+  PgrWriteOptions opts;
+  opts.include_transpose = true;
+  opts.symmetric = false;
+  write_pgr(g, path, opts);
+  PgrInfo info = probe_pgr(path);
+  EXPECT_EQ(info.n, 120u);
+  EXPECT_EQ(info.m, g.num_edges());
+  EXPECT_FALSE(info.weighted);
+  EXPECT_FALSE(info.symmetric);
+  EXPECT_TRUE(info.has_transpose);
+  EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+}
+
+TEST_F(GraphIoTest, PgrWeightedFileReadAsUnweighted) {
+  // read_pgr on a weighted file ignores the weights section.
+  std::vector<WeightedEdge<std::uint32_t>> edges{{0, 1, 5}, {1, 2, 7}};
+  auto g = WeightedGraph<std::uint32_t>::from_edges(3, edges);
+  auto path = temp_path("w.pgr");
+  write_pgr(g, path);
+  EXPECT_EQ(read_pgr(path), g.unweighted());
+}
+
+TEST_F(GraphIoTest, PgrUnweightedFileRejectedByWeightedReader) {
+  Graph g = random_graph(50, 200, 10);
+  auto path = temp_path("uw.pgr");
+  write_pgr(g, path);
+  EXPECT_THROW(read_weighted_pgr(path), Error);
+}
+
+TEST_F(GraphIoTest, PgrMissingFile) {
+  EXPECT_THROW(read_pgr(temp_path("does_not_exist.pgr")), Error);
+  EXPECT_THROW(probe_pgr(temp_path("does_not_exist.pgr")), Error);
+}
+
 }  // namespace
 }  // namespace pasgal

@@ -65,6 +65,29 @@ TEST(VertexSubset, OutDegreeSumMatchesBothRepresentations) {
   EXPECT_EQ(sparse.out_degree_sum(g), expected);
 }
 
+TEST(VertexSubset, SparseContainsUsesSortedOrder) {
+  // sparse() sorts unsorted input so contains() can binary-search; the
+  // exposed vertex list must come back in ascending order.
+  auto s = VertexSubset::sparse(100, {42, 7, 99, 0, 13});
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{0, 7, 13, 42, 99}));
+  for (VertexId v : {0, 7, 13, 42, 99}) EXPECT_TRUE(s.contains(v));
+  for (VertexId v : {1, 6, 8, 43, 98}) EXPECT_FALSE(s.contains(v));
+}
+
+TEST(VertexSubset, SparseContainsAgreesWithDense) {
+  Random rng(21);
+  std::vector<VertexId> verts;
+  for (std::size_t i = 0; i < 200; ++i) {
+    verts.push_back(static_cast<VertexId>(rng.ith_rand(i) % 5000));
+  }
+  auto sparse = VertexSubset::sparse(5000, verts);
+  auto dense = VertexSubset::sparse(5000, verts);
+  dense.to_dense();
+  for (VertexId v = 0; v < 5000; ++v) {
+    EXPECT_EQ(sparse.contains(v), dense.contains(v)) << "vertex " << v;
+  }
+}
+
 TEST(VertexSubset, LargeSubsetCount) {
   Scheduler::reset(4);
   std::vector<std::uint8_t> mask(100000);
