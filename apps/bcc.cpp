@@ -1,10 +1,12 @@
 // BCC driver (mirrors the upstream PASGAL per-algorithm executables).
 // The input graph is symmetrized automatically, as in the paper.
 //
-//   bcc <graph> [-a pasgal|gbbs|tv|seq] [-r repeats] [--validate]
-//       [--json-metrics <path>]
+//   bcc <graph> [-a pasgal|gbbs|tv|seq] [-r repeats] [--serve N]
+//       [--validate] [--json-metrics <path>]
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
+#include <optional>
+
 #include "algorithms/bcc/bcc.h"
 #include "common.h"
 
@@ -24,38 +26,48 @@ int main(int argc, char** argv) {
   return apps::run_app([&]() {
     opts.parse(argc, argv, 2);
 
-    apps::LoadedGraph loaded = apps::load_graph_timed(argv[1], common);
-    Graph g = loaded.graph.symmetrize();
-    std::printf("graph (symmetrized): n=%zu m=%zu, algorithm=%s, workers=%d\n",
-                g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
-    std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
-                loaded.mode.c_str(), loaded.seconds,
-                (unsigned long long)loaded.bytes_mapped);
+    apps::ServeHarness serve(argv[1], common);
+    apps::LoadedGraph loaded;
+    std::optional<MetricsDoc> doc;
+    while (serve.next()) {
+      loaded = serve.open(common);
+      Graph g = loaded.graph.symmetrize();
+      std::printf(
+          "graph (symmetrized): n=%zu m=%zu, algorithm=%s, workers=%d\n",
+          g.num_vertices(), g.num_edges(), algo.c_str(), num_workers());
+      std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
+                  loaded.mode.c_str(), loaded.seconds,
+                  (unsigned long long)loaded.bytes_mapped);
 
-    Tracer tracer;
-    AlgoOptions aopt;
-    aopt.validate = common.validate;
-    aopt.tracer = &tracer;
+      Tracer tracer;
+      AlgoOptions aopt;
+      aopt.validate = common.validate;
+      aopt.tracer = &tracer;
 
-    MetricsDoc doc("bcc", algo, argv[1], g.num_vertices(), g.num_edges());
-    apps::record_load(doc, loaded);
+      if (!doc) {
+        doc.emplace("bcc", algo, argv[1], g.num_vertices(), g.num_edges());
+      }
 
-    for (long long r = 0; r < common.repeats; ++r) {
-      RunReport<BccResult> report = algo == "pasgal" ? fast_bcc(g, aopt)
-                                    : algo == "gbbs" ? gbbs_bcc(g, aopt)
-                                    : algo == "tv"   ? tarjan_vishkin_bcc(g, aopt)
-                                                     : hopcroft_tarjan_bcc(g, aopt);
-      apps::print_stats(algo.c_str(), report.seconds, tracer);
-      doc.add_trial(report.seconds, report.telemetry);
-      if (r == 0) {
-        std::printf("%zu biconnected components, %zu articulation points, "
-                    "%zu bridges\n",
-                    report.output.num_bccs,
-                    articulation_points(g, report.output).size(),
-                    count_bridges(g, report.output));
+      for (long long r = 0; r < common.repeats; ++r) {
+        RunReport<BccResult> report =
+            algo == "pasgal" ? fast_bcc(g, aopt)
+            : algo == "gbbs" ? gbbs_bcc(g, aopt)
+            : algo == "tv"   ? tarjan_vishkin_bcc(g, aopt)
+                             : hopcroft_tarjan_bcc(g, aopt);
+        apps::print_stats(algo.c_str(), report.seconds, tracer);
+        doc->add_trial(report.seconds, report.telemetry);
+        if (r == 0) {
+          std::printf("%zu biconnected components, %zu articulation points, "
+                      "%zu bridges\n",
+                      report.output.num_bccs,
+                      articulation_points(g, report.output).size(),
+                      count_bridges(g, report.output));
+        }
       }
     }
-    apps::finish_metrics(common, doc);
+    apps::record_load(*doc, loaded);
+    serve.record(*doc);
+    apps::finish_metrics(common, *doc);
     return 0;
   });
 }

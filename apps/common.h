@@ -19,6 +19,7 @@
 
 #include "graphs/generators.h"
 #include "graphs/graph_io.h"
+#include "graphs/registry.h"
 #include "pasgal/cli.h"
 #include "pasgal/error.h"
 #include "pasgal/resource.h"
@@ -173,13 +174,33 @@ inline Graph load_graph(const std::string& spec, bool validate) {
 struct LoadedGraph {
   Graph graph;
   std::string mode;  // "adj" | "bin" | "pgr-mmap" | "pgr-copy" | "generated"
+  // Bytes newly mapped by *this* load: the file size for a cold mmap open,
+  // 0 for a registry hit (the mapping already existed) and for heap loads.
   std::uint64_t bytes_mapped = 0;
   double seconds = 0;
+  bool registry_hit = false;  // this open shared a pre-existing mapping
 };
+
+namespace internal {
+
+// Drivers load single-threaded, so the registry hit delta across one load
+// is exactly this open's outcome.
+inline bool finish_load_accounting(const GraphRegistry::Stats& before,
+                                   std::uint64_t& bytes_mapped) {
+  GraphRegistry::Stats after = GraphRegistry::instance().stats();
+  if (after.hits > before.hits) {
+    bytes_mapped = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace internal
 
 inline LoadedGraph load_graph_timed(const std::string& spec,
                                     const CommonOptions& common) {
   auto t0 = std::chrono::steady_clock::now();
+  GraphRegistry::Stats before = GraphRegistry::instance().stats();
   LoadedGraph out;
   if (internal::ends_with(spec, ".pgr")) {
     PgrOpen mode =
@@ -202,15 +223,170 @@ inline LoadedGraph load_graph_timed(const std::string& spec,
   if (out.graph.storage() != nullptr) {
     out.bytes_mapped = out.graph.storage()->bytes_mapped();
   }
+  out.registry_hit = internal::finish_load_accounting(before, out.bytes_mapped);
   return out;
 }
 
-inline void record_load(MetricsDoc& doc, const LoadedGraph& loaded) {
-  doc.set_param("load_mode", loaded.mode);
-  doc.set_param("load_bytes_mapped", loaded.bytes_mapped);
-  doc.set_param("load_wall_ns",
-                static_cast<std::uint64_t>(loaded.seconds * 1e9));
+// A weighted graph plus provenance: weights either came from the file's
+// weights section ("file") or were generated in-process ("generated").
+struct LoadedWeightedGraph {
+  WeightedGraph<std::uint32_t> graph;
+  std::string mode;
+  std::string weights_origin;  // "file" | "generated"
+  std::uint64_t bytes_mapped = 0;
+  double seconds = 0;
+  bool registry_hit = false;
+};
+
+// Weighted load for the sssp driver: a weighted `.pgr` supplies its own
+// weights section (zero-copy alongside the topology); everything else loads
+// the topology and attaches deterministic generated weights. Passing -w
+// with a weighted file is a usage error — the flag could not take effect.
+inline LoadedWeightedGraph load_weighted_graph_timed(
+    const std::string& spec, const CommonOptions& common,
+    std::uint32_t max_weight, bool max_weight_given) {
+  if (internal::ends_with(spec, ".pgr") && probe_pgr(spec).weighted) {
+    if (max_weight_given) {
+      throw Error(ErrorCategory::kUsage,
+                  "-w conflicts with '" + spec +
+                      "': the file carries a weights section; drop -w to use "
+                      "it, or convert the graph without --weights");
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    GraphRegistry::Stats before = GraphRegistry::instance().stats();
+    LoadedWeightedGraph out;
+    PgrOpen mode =
+        common.load_mode == "copy" ? PgrOpen::kCopy : PgrOpen::kMmap;
+    out.graph = read_weighted_pgr(spec, mode, common.validate);
+    out.mode = mode == PgrOpen::kCopy ? "pgr-copy" : "pgr-mmap";
+    out.weights_origin = "file";
+    if (common.validate) {
+      std::printf("validate: ok (n=%zu m=%zu)\n", out.graph.num_vertices(),
+                  out.graph.num_edges());
+    }
+    out.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (out.graph.unweighted().storage() != nullptr) {
+      out.bytes_mapped = out.graph.unweighted().storage()->bytes_mapped();
+    }
+    out.registry_hit =
+        internal::finish_load_accounting(before, out.bytes_mapped);
+    return out;
+  }
+  LoadedGraph base = load_graph_timed(spec, common);
+  LoadedWeightedGraph out;
+  out.graph = gen::add_weights(base.graph, max_weight);
+  out.mode = base.mode;
+  out.weights_origin = "generated";
+  out.bytes_mapped = base.bytes_mapped;
+  out.seconds = base.seconds;
+  out.registry_hit = base.registry_hit;
+  return out;
 }
+
+inline void record_load_params(MetricsDoc& doc, const std::string& mode,
+                               std::uint64_t bytes_mapped, double seconds) {
+  doc.set_param("load_mode", mode);
+  doc.set_param("load_bytes_mapped", bytes_mapped);
+  doc.set_param("load_wall_ns", static_cast<std::uint64_t>(seconds * 1e9));
+}
+
+inline void record_load(MetricsDoc& doc, const LoadedGraph& loaded) {
+  record_load_params(doc, loaded.mode, loaded.bytes_mapped, loaded.seconds);
+}
+
+inline void record_load(MetricsDoc& doc, const LoadedWeightedGraph& loaded) {
+  record_load_params(doc, loaded.mode, loaded.bytes_mapped, loaded.seconds);
+  doc.set_param("weights", loaded.weights_origin);
+}
+
+// --- serving-mode harness ----------------------------------------------------
+
+// `--serve N`: the driver re-opens and re-runs its input N extra times in
+// one process, as a cold-vs-warm harness for the GraphRegistry. The cold
+// open of a mmap'ed .pgr is pinned, so the mapping survives the Graph being
+// dropped between iterations and every warm open is a registry hit mapping
+// zero new bytes. Usage pattern (see the drivers):
+//
+//   ServeHarness serve(argv[1], common);
+//   while (serve.next()) {
+//     auto loaded = serve.open(common);
+//     ... run repeats, add trials ...
+//   }
+//   apps::record_load(doc, loaded);  // final open: warm when serving
+//   serve.record(doc);
+class ServeHarness {
+ public:
+  ServeHarness(std::string spec, const CommonOptions& common)
+      : spec_(std::move(spec)),
+        total_opens_(1 + common.serve),
+        base_(GraphRegistry::instance().stats()) {}
+
+  // Advances to the next open; snapshots the cold iteration's peak RSS at
+  // the cold->warm boundary so record() can expose RSS flatness.
+  bool next() {
+    if (iteration_ + 1 >= total_opens_) return false;
+    ++iteration_;
+    if (iteration_ == 1) cold_peak_rss_ = peak_rss_bytes();
+    return true;
+  }
+
+  bool cold() const { return iteration_ == 0; }
+
+  LoadedGraph open(const CommonOptions& common) {
+    LoadedGraph out = load_graph_timed(spec_, common);
+    note_open(out.mode, out.registry_hit, out.bytes_mapped);
+    return out;
+  }
+
+  LoadedWeightedGraph open_weighted(const CommonOptions& common,
+                                    std::uint32_t max_weight,
+                                    bool max_weight_given) {
+    LoadedWeightedGraph out = load_weighted_graph_timed(
+        spec_, common, max_weight, max_weight_given);
+    note_open(out.mode, out.registry_hit, out.bytes_mapped);
+    return out;
+  }
+
+  // Registry counters as process-lifetime deltas since harness construction
+  // (once per document — duplicate set_param keys would corrupt the JSON).
+  void record(MetricsDoc& doc) const {
+    GraphRegistry::Stats now = GraphRegistry::instance().stats();
+    doc.set_param("registry_hits", now.hits - base_.hits);
+    doc.set_param("registry_misses", now.misses - base_.misses);
+    doc.set_param("registry_bytes_mapped",
+                  now.bytes_mapped - base_.bytes_mapped);
+    if (total_opens_ > 1) {
+      doc.set_param("serve_opens", static_cast<std::uint64_t>(total_opens_));
+      doc.set_param("warm_load_bytes_mapped", warm_new_bytes_);
+      doc.set_param("peak_rss_cold_bytes", cold_peak_rss_);
+    }
+  }
+
+ private:
+  void note_open(const std::string& mode, bool registry_hit,
+                 std::uint64_t new_bytes) {
+    if (cold()) {
+      if (total_opens_ > 1 && mode == "pgr-mmap") {
+        GraphRegistry::instance().pin(spec_);
+      }
+      return;
+    }
+    warm_new_bytes_ += new_bytes;
+    std::printf("serve: open %lld/%lld %s (%llu new bytes mapped)\n",
+                iteration_ + 1, total_opens_,
+                registry_hit ? "registry hit" : "registry miss",
+                (unsigned long long)new_bytes);
+  }
+
+  std::string spec_;
+  long long total_opens_;
+  long long iteration_ = -1;
+  GraphRegistry::Stats base_;
+  std::uint64_t cold_peak_rss_ = 0;
+  std::uint64_t warm_new_bytes_ = 0;
+};
 
 // --- driver scaffolding ------------------------------------------------------
 

@@ -3,14 +3,17 @@
 // files once, so every later driver/bench run opens them zero-copy:
 //
 //   graph_convert <input.{adj,bin,pgr}|spec> <output.{adj,bin,pgr}>
-//                 [--transpose] [--symmetric] [--load mmap|copy]
-//                 [--validate] [--json-metrics <path>]
+//                 [--transpose] [--symmetric] [--weights <max_weight>]
+//                 [--load mmap|copy] [--validate] [--json-metrics <path>]
 //
 // --transpose embeds the reverse CSR as extra .pgr sections (drivers and
 // benches then skip rebuilding gt entirely); --symmetric records the
 // caller-asserted symmetry flag in the .pgr header. Both are rejected for
-// non-.pgr outputs. --validate applies the full checksum + validate_csr
-// pass to .pgr inputs and re-validates the graph before writing.
+// non-.pgr outputs. --weights attaches deterministic weights (uniform in
+// [1, max_weight]) and writes the weighted variant of the output format,
+// so sssp runs consume the file's weights section instead of regenerating.
+// --validate applies the full checksum + validate_csr pass to .pgr inputs
+// and re-validates the graph before writing.
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include <chrono>
@@ -22,9 +25,12 @@ using namespace pasgal;
 int main(int argc, char** argv) {
   bool with_transpose = false;
   bool symmetric = false;
+  long long weights_max = 0;  // 0: unweighted output
   cli::OptionSet opts;
   cli::CommonOptions common;
-  opts.flag("--transpose", &with_transpose).flag("--symmetric", &symmetric);
+  opts.flag("--transpose", &with_transpose)
+      .flag("--symmetric", &symmetric)
+      .integer("--weights", &weights_max, 1, 0xFFFFFFFFLL, "max_weight");
   common.declare(opts);
   if (argc < 3) {
     std::fprintf(stderr, "usage: %s <input> <output.{adj,bin,pgr}> %s\n",
@@ -54,7 +60,20 @@ int main(int argc, char** argv) {
                 g.num_edges(), (unsigned long long)loaded.bytes_mapped);
 
     auto start = std::chrono::steady_clock::now();
-    if (out_ends_with(".pgr")) {
+    if (weights_max > 0) {
+      WeightedGraph<std::uint32_t> wg =
+          gen::add_weights(g, static_cast<std::uint32_t>(weights_max));
+      if (out_ends_with(".pgr")) {
+        PgrWriteOptions wopts;
+        wopts.include_transpose = with_transpose;
+        wopts.symmetric = symmetric;
+        write_pgr(wg, out, wopts);
+      } else if (out_ends_with(".bin")) {
+        write_bin(wg, out);
+      } else {
+        write_adj(wg, out);
+      }
+    } else if (out_ends_with(".pgr")) {
       PgrWriteOptions wopts;
       wopts.include_transpose = with_transpose;
       wopts.symmetric = symmetric;
@@ -74,6 +93,7 @@ int main(int argc, char** argv) {
                    g.num_edges());
     doc.set_param("output", out);
     doc.set_param("with_transpose", static_cast<std::uint64_t>(with_transpose));
+    doc.set_param("weights_max", static_cast<std::uint64_t>(weights_max));
     apps::record_load(doc, loaded);
     Tracer tracer;
     doc.add_trial(loaded.seconds + write_seconds, tracer.aggregate());

@@ -1,10 +1,16 @@
 // SSSP driver (mirrors the upstream PASGAL per-algorithm executables).
-// Weights are attached deterministically (uniform in [1, max_weight]).
+// A weighted `.pgr` input supplies its own weights section (zero-copy with
+// the topology); other inputs get deterministic generated weights (uniform
+// in [1, max_weight]). -w only applies to generated weights and is rejected
+// alongside a weighted file.
 //
 //   sssp <graph> [-s source] [-a rho|delta|bf|seq] [-w max_weight] [-d delta]
-//        [-t tau] [-r repeats] [--validate] [--json-metrics <path>]
+//        [-t tau] [-r repeats] [--serve N] [--validate]
+//        [--json-metrics <path>]
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
+#include <optional>
+
 #include "algorithms/sssp/sssp.h"
 #include "common.h"
 
@@ -14,13 +20,15 @@ int main(int argc, char** argv) {
   std::string algo = "rho";
   long long source = 0;
   long long max_weight = 100;
+  bool max_weight_given = false;
   long long delta = 32;
   long long tau = 512;
   cli::OptionSet opts;
   cli::CommonOptions common;
   opts.integer("-s", &source, 0, 0xFFFFFFFFLL, "source")
       .choice("-a", &algo, {"rho", "delta", "bf", "seq"})
-      .integer("-w", &max_weight, 1, 0xFFFFFFFFLL, "max_weight")
+      .integer("-w", &max_weight, 1, 0xFFFFFFFFLL, "max_weight",
+               &max_weight_given)
       .integer("-d", &delta, 1, 1LL << 40, "delta")
       .integer("-t", &tau, 1, 0xFFFFFFFFLL, "tau");
   common.declare(opts);
@@ -32,59 +40,69 @@ int main(int argc, char** argv) {
   return apps::run_app([&]() {
     opts.parse(argc, argv, 2);
 
-    apps::LoadedGraph loaded = apps::load_graph_timed(argv[1], common);
-    auto g = gen::add_weights(loaded.graph,
-                              static_cast<std::uint32_t>(max_weight));
-    if (static_cast<std::size_t>(source) >= g.num_vertices()) {
-      throw Error(ErrorCategory::kUsage,
-                  "source vertex " + std::to_string(source) +
-                      " out of range (graph has " +
-                      std::to_string(g.num_vertices()) + " vertices)");
-    }
-    std::printf("graph: n=%zu m=%zu, source=%lld, algorithm=%s, workers=%d\n",
-                g.num_vertices(), g.num_edges(), source, algo.c_str(),
-                num_workers());
-    std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
-                loaded.mode.c_str(), loaded.seconds,
-                (unsigned long long)loaded.bytes_mapped);
+    apps::ServeHarness serve(argv[1], common);
+    apps::LoadedWeightedGraph loaded;
+    std::optional<MetricsDoc> doc;
+    while (serve.next()) {
+      loaded = serve.open_weighted(
+          common, static_cast<std::uint32_t>(max_weight), max_weight_given);
+      WeightedGraph<std::uint32_t>& g = loaded.graph;
+      if (static_cast<std::size_t>(source) >= g.num_vertices()) {
+        throw Error(ErrorCategory::kUsage,
+                    "source vertex " + std::to_string(source) +
+                        " out of range (graph has " +
+                        std::to_string(g.num_vertices()) + " vertices)");
+      }
+      std::printf(
+          "graph: n=%zu m=%zu, source=%lld, algorithm=%s, weights=%s, "
+          "workers=%d\n",
+          g.num_vertices(), g.num_edges(), source, algo.c_str(),
+          loaded.weights_origin.c_str(), num_workers());
+      std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
+                  loaded.mode.c_str(), loaded.seconds,
+                  (unsigned long long)loaded.bytes_mapped);
 
-    Tracer tracer;
-    AlgoOptions aopt;
-    aopt.source = static_cast<VertexId>(source);
-    aopt.vgc.tau = static_cast<std::uint32_t>(tau);
-    aopt.sssp_delta_mode = algo == "delta";
-    aopt.sssp_delta = static_cast<std::uint64_t>(delta);
-    aopt.validate = common.validate;
-    aopt.tracer = &tracer;
+      Tracer tracer;
+      AlgoOptions aopt;
+      aopt.source = static_cast<VertexId>(source);
+      aopt.vgc.tau = static_cast<std::uint32_t>(tau);
+      aopt.sssp_delta_mode = algo == "delta";
+      aopt.sssp_delta = static_cast<std::uint64_t>(delta);
+      aopt.validate = common.validate;
+      aopt.tracer = &tracer;
 
-    MetricsDoc doc("sssp", algo, argv[1], g.num_vertices(), g.num_edges());
-    doc.set_param("source", static_cast<std::uint64_t>(source));
-    doc.set_param("max_weight", static_cast<std::uint64_t>(max_weight));
-    doc.set_param("delta", static_cast<std::uint64_t>(delta));
-    doc.set_param("tau", static_cast<std::uint64_t>(tau));
-    apps::record_load(doc, loaded);
+      if (!doc) {
+        doc.emplace("sssp", algo, argv[1], g.num_vertices(), g.num_edges());
+        doc->set_param("source", static_cast<std::uint64_t>(source));
+        doc->set_param("max_weight", static_cast<std::uint64_t>(max_weight));
+        doc->set_param("delta", static_cast<std::uint64_t>(delta));
+        doc->set_param("tau", static_cast<std::uint64_t>(tau));
+      }
 
-    for (long long r = 0; r < common.repeats; ++r) {
-      RunReport<std::vector<Dist>> report =
-          algo == "rho" || algo == "delta" ? stepping_sssp(g, aopt)
-          : algo == "bf"                   ? bellman_ford(g, aopt)
-                                           : dijkstra(g, aopt);
-      apps::print_stats(algo.c_str(), report.seconds, tracer);
-      doc.add_trial(report.seconds, report.telemetry);
-      if (r == 0) {
-        std::uint64_t reached = 0;
-        Dist far = 0;
-        for (auto d : report.output) {
-          if (d != kInfWeightDist) {
-            ++reached;
-            far = std::max(far, d);
+      for (long long r = 0; r < common.repeats; ++r) {
+        RunReport<std::vector<Dist>> report =
+            algo == "rho" || algo == "delta" ? stepping_sssp(g, aopt)
+            : algo == "bf"                   ? bellman_ford(g, aopt)
+                                             : dijkstra(g, aopt);
+        apps::print_stats(algo.c_str(), report.seconds, tracer);
+        doc->add_trial(report.seconds, report.telemetry);
+        if (r == 0) {
+          std::uint64_t reached = 0;
+          Dist far = 0;
+          for (auto d : report.output) {
+            if (d != kInfWeightDist) {
+              ++reached;
+              far = std::max(far, d);
+            }
           }
+          std::printf("reached %llu vertices, weighted eccentricity %llu\n",
+                      (unsigned long long)reached, (unsigned long long)far);
         }
-        std::printf("reached %llu vertices, weighted eccentricity %llu\n",
-                    (unsigned long long)reached, (unsigned long long)far);
       }
     }
-    apps::finish_metrics(common, doc);
+    apps::record_load(*doc, loaded);
+    serve.record(*doc);
+    apps::finish_metrics(common, *doc);
     return 0;
   });
 }

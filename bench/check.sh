@@ -20,7 +20,7 @@ cmake --build "$prefix-san" -j > /dev/null
 
 echo "--- sanitized input-hardening tests ---"
 (cd "$prefix-san" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|app_exit_|storage_')
+    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|test_registry|test_resource|app_exit_|storage_|registry_')
 
 echo "--- sanitized app drivers (success paths, with metrics emission) ---"
 tmp="$(mktemp -d)"
@@ -59,6 +59,42 @@ cmp "$tmp/grid.bin" "$tmp/grid_rt.bin" || {
   echo "FAIL: .bin -> .pgr -> .bin round-trip is not byte-identical" >&2; exit 1
 }
 
+echo "--- registry warm-open gate (serving mode, plain build) ---"
+# Second open of the same canonical .pgr must be a registry hit that maps
+# zero new bytes and leaves peak RSS flat. Runs on the plain build: ASan's
+# quarantine inflates VmHWM unpredictably, and the sanitized registry
+# coverage already ran via the registry_* ctest targets above.
+"$prefix/apps/graph_convert" grid:300:300 "$tmp/serve.pgr" --transpose > /dev/null
+"$prefix/apps/bfs" "$tmp/serve.pgr" --serve 1 -r 1 \
+    --json-metrics "$tmp/serve.json" > "$tmp/serve.txt"
+grep -q 'serve: open 2/2 registry hit (0 new bytes mapped)' "$tmp/serve.txt" || {
+  echo "FAIL: warm open was not a zero-byte registry hit" >&2; exit 1
+}
+for want in '"registry_hits":1' '"registry_misses":1' \
+            '"warm_load_bytes_mapped":0' '"load_bytes_mapped":0'; do
+  grep -q "$want" "$tmp/serve.json" || {
+    echo "FAIL: serving metrics missing $want" >&2; exit 1
+  }
+done
+[ "$(grep -c 'reached' "$tmp/serve.txt")" -eq 2 ] || {
+  echo "FAIL: expected one result line per serve iteration" >&2; exit 1
+}
+[ "$(grep 'reached' "$tmp/serve.txt" | sort -u | wc -l)" -eq 1 ] || {
+  echo "FAIL: warm-open result differs from cold-open result" >&2; exit 1
+}
+rss_cold=$(sed -E 's/.*"peak_rss_cold_bytes":([0-9]+).*/\1/' "$tmp/serve.json")
+rss_final=$(sed -E 's/.*"peak_rss_bytes":([0-9]+).*/\1/' "$tmp/serve.json")
+file_bytes=$(wc -c < "$tmp/serve.pgr")
+# Flat peak RSS: the warm open must not re-materialize the graph. Allow
+# growth strictly under half the file size (a second mapping or heap copy
+# would add at least the full file).
+if [ $((2 * (rss_final - rss_cold))) -ge "$file_bytes" ]; then
+  echo "FAIL: peak RSS grew by $((rss_final - rss_cold)) bytes across warm" \
+       "opens (file is $file_bytes bytes) — mapping not shared?" >&2
+  exit 1
+fi
+"$prefix/apps/metrics_check" "$tmp/serve.json"
+
 echo "--- sanitized app drivers (failure paths must exit cleanly) ---"
 expect() { want="$1"; shift
   set +e; "$@" > /dev/null 2>&1; got=$?; set -e
@@ -72,6 +108,9 @@ expect 3 "$prefix-san/apps/bfs" "$tmp/missing.adj"
 expect 2 "$prefix-san/apps/bfs" grid:abc:10
 expect 2 "$prefix-san/apps/sssp" chain:100 -a nope
 expect 4 env PASGAL_MEM_LIMIT_MB=64 "$prefix-san/apps/bfs" rmat:30:1000000000000
+expect 2 env PASGAL_MEM_LIMIT_MB=999999999999999999 "$prefix-san/apps/bfs" chain:100
+"$prefix-san/apps/graph_convert" chain:50 "$tmp/wconf.pgr" --weights 5 > /dev/null
+expect 2 "$prefix-san/apps/sssp" "$tmp/wconf.pgr" -w 7
 
 echo
 echo "check.sh: all gates passed"

@@ -7,6 +7,7 @@
 #include <memory>
 #include <sstream>
 
+#include "graphs/registry.h"
 #include "graphs/storage.h"
 #include "pasgal/resource.h"
 
@@ -550,7 +551,8 @@ PgrInfo info_of(const PgrHeader& h, std::uint64_t file_size) {
   return info;
 }
 
-OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
+OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
+                         bool validate) {
   auto map = std::make_shared<const MappedFile>(MappedFile::open(path));
   const std::byte* base = map->data();
   PgrHeader h = parse_pgr_header(base, map->size(), path);
@@ -623,6 +625,46 @@ OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
   if (deep) {
     Status s = validate_csr(out.storage->offsets(), out.storage->targets());
     if (!s.ok()) fail(s.category(), path, s.message());
+  }
+  return out;
+}
+
+// Mmap opens go through the process-level GraphRegistry: every open of the
+// same file (by stat identity — see registry.h) in one process shares a
+// single mapping and its memoized transpose. Copy opens bypass it: kCopy's
+// contract is decoupling from the file, and a shared heap image could go
+// stale if the file is rewritten in place within mtime granularity.
+OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
+  if (mode == PgrOpen::kCopy) return open_pgr_fresh(path, mode, validate);
+
+  bool opened_fresh = false;
+  StorageRef storage =
+      GraphRegistry::instance().open_shared(path, [&]() -> StorageRef {
+        opened_fresh = true;
+        return open_pgr_fresh(path, PgrOpen::kMmap, validate).storage;
+      });
+
+  // Cached or fresh, PgrInfo comes from the shared mapping's header — a
+  // registry hit must not re-open the file (zero new bytes mapped).
+  std::shared_ptr<const MappedFile> map = storage->mapped_file();
+  const std::byte* base = map->data();
+  PgrHeader h = parse_pgr_header(base, map->size(), path);
+  OpenedPgr out;
+  out.info = info_of(h, map->size());
+  out.storage = std::move(storage);
+  if (!opened_fresh && validate) {
+    // The cached mapping may have been opened without --validate; a
+    // validating open still gets the full content check, against the
+    // shared pages.
+    check_pgr_checksums(h, base, path);
+    Status s = validate_csr(out.storage->offsets(), out.storage->targets());
+    if (!s.ok()) fail(s.category(), path, s.message());
+    if (StorageRef t = out.storage->transpose_cache()) {
+      Status ts = validate_csr(t->offsets(), t->targets());
+      if (!ts.ok()) {
+        fail(ts.category(), path, "transpose sections: " + ts.message());
+      }
+    }
   }
   return out;
 }

@@ -1,0 +1,131 @@
+#include "graphs/registry.h"
+
+#include <sys/stat.h>
+
+namespace pasgal {
+
+GraphRegistry& GraphRegistry::instance() {
+  static GraphRegistry registry;
+  return registry;
+}
+
+bool GraphRegistry::file_key(const std::string& path, FileKey& out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  out.dev = static_cast<std::uint64_t>(st.st_dev);
+  out.ino = static_cast<std::uint64_t>(st.st_ino);
+  out.size = static_cast<std::uint64_t>(st.st_size);
+  out.mtime_ns =
+      static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+      static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+  return true;
+}
+
+std::shared_ptr<GraphRegistry::Entry> GraphRegistry::find_entry(
+    const std::string& path) {
+  FileKey key;
+  if (!file_key(path, key)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+StorageRef GraphRegistry::open_shared(
+    const std::string& path, const std::function<StorageRef()>& opener) {
+  FileKey key;
+  if (!file_key(path, key)) return opener();
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = table_[key];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+
+  std::lock_guard<std::mutex> open_lock(entry->mu);
+  if (StorageRef live = entry->storage.lock()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return live;
+  }
+  StorageRef fresh = opener();  // throws propagate; nothing is cached
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  bytes_mapped_.fetch_add(fresh->bytes_mapped(), std::memory_order_relaxed);
+  entry->storage = fresh;
+  return fresh;
+}
+
+bool GraphRegistry::pin(const std::string& path) {
+  std::shared_ptr<Entry> entry = find_entry(path);
+  if (entry == nullptr) return false;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  StorageRef live = entry->storage.lock();
+  if (live == nullptr) return false;
+  entry->pinned = std::move(live);
+  return true;
+}
+
+bool GraphRegistry::unpin(const std::string& path) {
+  std::shared_ptr<Entry> entry = find_entry(path);
+  if (entry == nullptr) return false;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->pinned = nullptr;
+  return true;
+}
+
+bool GraphRegistry::evict(const std::string& path) {
+  FileKey key;
+  if (!file_key(path, key)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  table_.erase(it);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t GraphRegistry::evict_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t removed = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    Entry& e = *it->second;
+    bool dead;
+    {
+      std::lock_guard<std::mutex> entry_lock(e.mu);
+      dead = e.pinned == nullptr && e.storage.expired();
+    }
+    if (dead) {
+      it = table_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void GraphRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  table_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  bytes_mapped_.store(0, std::memory_order_relaxed);
+}
+
+GraphRegistry::Stats GraphRegistry::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.bytes_mapped = bytes_mapped_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  out.entries = table_.size();
+  for (const auto& [key, entry] : table_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->pinned != nullptr) ++out.pinned_entries;
+  }
+  return out;
+}
+
+}  // namespace pasgal

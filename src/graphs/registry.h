@@ -1,0 +1,129 @@
+// GraphRegistry: process-level sharing of mmap-backed graph storage.
+//
+// Storage sharing in storage.h is per-StorageRef: two `read_pgr` calls on
+// the same file each map it and each memoize their own transpose. A
+// long-lived serving process that re-opens its graphs (several drivers in
+// one binary, bench iterations, request loops) therefore pays the mapping
+// and transpose cost once per open instead of once per process. The
+// registry closes that gap: a process-wide table keyed by canonical file
+// identity hands every opener of the same file the same GraphStorage — one
+// `MappedFile`, one memoized transpose.
+//
+// Keying: files are identified by `st_dev`/`st_ino` from stat(2) — not the
+// path string — so symlinks, `./`-prefixed and absolute spellings of one
+// file all dedupe to a single entry. The key additionally includes the file
+// size and mtime (nanoseconds): rewriting a graph in place produces a new
+// key, so a stale mapping of the old content is never handed out (the old
+// entry ages out via weak_ptr expiry / evict_expired()).
+//
+// Ownership: entries hold a `weak_ptr<GraphStorage>`. The registry never
+// extends a graph's lifetime by itself — when the last Graph drops, the
+// mapping is unmapped as before and the entry is just a tombstone. `pin()`
+// upgrades an entry to a strong reference for serving use (the mapping
+// survives between requests); `evict()` drops an entry, pinned or not.
+//
+// Concurrency: a global table mutex guards the key -> entry map, and a
+// per-entry mutex is held across the opener callback, so two threads racing
+// to open the same file produce exactly one mapping (the loser blocks, then
+// hits). Counters (hits / misses / evictions / bytes mapped once per
+// distinct mapping) are atomics, surfaced through the drivers' metrics
+// documents as `registry_*` params.
+//
+// Scope: only the `.pgr` mmap open path consults the registry (see
+// graph_io.cpp). Heap loads (.adj/.bin, PgrOpen::kCopy) are excluded by
+// design — kCopy's documented contract is decoupling from the file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graphs/storage.h"
+
+namespace pasgal {
+
+class GraphRegistry {
+ public:
+  // Counter snapshot plus current table shape. `bytes_mapped` counts each
+  // distinct mapping once, at miss time — N opens of one file add its size
+  // a single time.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes_mapped = 0;
+    std::uint64_t entries = 0;         // live table entries (incl. expired)
+    std::uint64_t pinned_entries = 0;  // entries holding a strong reference
+  };
+
+  static GraphRegistry& instance();
+
+  // Returns the cached storage for `path` if a previous open of the same
+  // file (by identity, see header comment) is still alive; otherwise runs
+  // `opener`, caches its result, and returns it. The per-entry lock is held
+  // across `opener`, so concurrent opens of one file map it once. If the
+  // file cannot be stat'ed the registry steps aside and calls `opener`
+  // directly (it raises the typed kIo error the caller expects).
+  StorageRef open_shared(const std::string& path,
+                         const std::function<StorageRef()>& opener);
+
+  // Upgrades the entry for `path` to a strong reference so the mapping
+  // outlives the graphs using it (serving mode). Returns false when there
+  // is no live entry to pin (never opened, or already expired).
+  bool pin(const std::string& path);
+
+  // Drops the strong reference taken by pin() without evicting the entry;
+  // the storage then lives only as long as outstanding graphs. Returns
+  // false when the entry does not exist.
+  bool unpin(const std::string& path);
+
+  // Removes the entry for `path`, pinned or not, and counts an eviction.
+  // Outstanding graphs keep their storage alive (shared_ptr semantics);
+  // the next open simply maps afresh. Returns false when there was no
+  // entry to remove.
+  bool evict(const std::string& path);
+
+  // Sweeps tombstones: removes unpinned entries whose storage has expired.
+  // Returns the number removed (not counted as evictions — their mappings
+  // were already gone).
+  std::size_t evict_expired();
+
+  // Drops every entry and zeroes all counters. Test hook.
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  // stat(2) identity of an open; see the keying discussion above.
+  struct FileKey {
+    std::uint64_t dev = 0;
+    std::uint64_t ino = 0;
+    std::uint64_t size = 0;
+    std::uint64_t mtime_ns = 0;
+    auto operator<=>(const FileKey&) const = default;
+  };
+
+  struct Entry {
+    std::mutex mu;  // held across the opener: one mapping per race
+    std::weak_ptr<GraphStorage> storage;
+    StorageRef pinned;  // non-null after pin(); cleared by unpin()/evict()
+  };
+
+  GraphRegistry() = default;
+
+  static bool file_key(const std::string& path, FileKey& out);
+  std::shared_ptr<Entry> find_entry(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<FileKey, std::shared_ptr<Entry>> table_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bytes_mapped_{0};
+};
+
+}  // namespace pasgal

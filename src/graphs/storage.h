@@ -137,6 +137,10 @@ class GraphStorage {
   }
   // Path of the backing file, when there is one (diagnostics, telemetry).
   const std::string& source_path() const { return source_path_; }
+  // The mapping behind an mmap-backed storage (null for heap backends). The
+  // registry hit path re-parses the .pgr header from it, so a shared open
+  // can rebuild PgrInfo / run deep validation without touching the file.
+  std::shared_ptr<const MappedFile> mapped_file() const { return map_; }
 
   // --- transpose memoization -------------------------------------------------
   // The cached transpose of the graph this storage backs, or null. The cache

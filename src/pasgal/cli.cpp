@@ -169,6 +169,7 @@ void CommonOptions::declare(OptionSet& opts) {
   opts.flag("--validate", &validate);
   opts.text("--json-metrics", &json_metrics, "path");
   opts.choice("--load", &load_mode, {"mmap", "copy"});
+  opts.integer("--serve", &serve, 0, 1000000, "reopens");
 }
 
 }  // namespace pasgal::cli

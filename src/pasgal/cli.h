@@ -96,13 +96,20 @@ class OptionSet {
   // Boolean switch: `--validate`.
   OptionSet& flag(std::string name, bool* target, std::string value_name = "");
 
-  // Integer-valued flag with range check; T is any integral type.
+  // Integer-valued flag with range check; T is any integral type. The
+  // optional `seen` out-flag records that the flag was given explicitly,
+  // for drivers that must distinguish a default from a user choice (sssp
+  // rejects -w combined with a weighted input file).
   template <typename T>
   OptionSet& integer(std::string name, T* target, long long min_value,
-                     long long max_value, std::string value_name) {
+                     long long max_value, std::string value_name,
+                     bool* seen = nullptr) {
     return add_integer(
         std::move(name), min_value, max_value, std::move(value_name),
-        [target](long long v) { *target = static_cast<T>(v); });
+        [target, seen](long long v) {
+          *target = static_cast<T>(v);
+          if (seen != nullptr) *seen = true;
+        });
   }
 
   // Free-form string flag: `--json-metrics <path>`.
@@ -147,6 +154,11 @@ struct CommonOptions {
   // file) or "copy" (heap-backed, full validation). Ignored for other
   // formats, which always copy.
   std::string load_mode = "mmap";
+  // Serving-mode harness: re-open + re-run the input this many extra times
+  // in one process. The first (cold) open of a mmap'ed .pgr is pinned in
+  // the GraphRegistry, so every warm re-open is a registry hit sharing the
+  // cold mapping (see apps/common.h ServeHarness).
+  long long serve = 0;
 
   void declare(OptionSet& opts);
 };

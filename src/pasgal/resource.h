@@ -4,11 +4,14 @@
 // offsets array and takes the process down.
 //
 // The ceiling is resolved once per process:
-//   1. PASGAL_MEM_LIMIT_MB environment variable, if set to a positive integer;
+//   1. PASGAL_MEM_LIMIT_MB environment variable, if set to a positive
+//      integer (values whose byte conversion would overflow 64 bits are a
+//      kUsage error, not a silently-wrapped tiny ceiling);
 //   2. else MemAvailable (fallback MemTotal) from /proc/meminfo;
 //   3. else a conservative 4 GiB default (non-Linux / unreadable procfs).
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -20,12 +23,33 @@ namespace pasgal {
 
 namespace internal {
 
+// Largest PASGAL_MEM_LIMIT_MB whose byte conversion fits in 64 bits. Values
+// beyond it used to wrap silently in `mb * 1024 * 1024`, turning a huge
+// requested ceiling into a tiny one that rejected every allocation.
+inline constexpr unsigned long long kMaxMemLimitMb = ~std::uint64_t{0} >> 20;
+
+inline std::uint64_t mem_limit_mb_to_bytes(unsigned long long mb) {
+  if (mb > kMaxMemLimitMb) {
+    throw Error(ErrorCategory::kUsage,
+                "PASGAL_MEM_LIMIT_MB=" + std::to_string(mb) +
+                    " overflows the 64-bit byte ceiling (max " +
+                    std::to_string(kMaxMemLimitMb) + ")");
+  }
+  return static_cast<std::uint64_t>(mb) << 20;
+}
+
 inline std::uint64_t detect_memory_limit_bytes() {
   if (const char* env = std::getenv("PASGAL_MEM_LIMIT_MB")) {
     char* end = nullptr;
+    errno = 0;
     unsigned long long mb = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && mb > 0) {
-      return static_cast<std::uint64_t>(mb) * 1024 * 1024;
+    // strtoull accepts a leading '-' by wrapping to a huge value; a
+    // negative limit is malformed (ignored), not astronomically large.
+    if (env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' &&
+        mb > 0) {
+      // Out-of-range strings saturate to ULLONG_MAX (ERANGE), which exceeds
+      // kMaxMemLimitMb and is rejected like any other overflowing value.
+      return mem_limit_mb_to_bytes(mb);
     }
   }
   std::ifstream meminfo("/proc/meminfo");

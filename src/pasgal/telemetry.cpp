@@ -704,7 +704,8 @@ Status validate_metrics(const json::Value& doc) {
       require(doc, "graph", json::Value::Kind::kObject, st, "document");
   const json::Value* workers =
       require(doc, "workers", json::Value::Kind::kNumber, st, "document");
-  require(doc, "params", json::Value::Kind::kObject, st, "document");
+  const json::Value* params =
+      require(doc, "params", json::Value::Kind::kObject, st, "document");
   const json::Value* trials =
       require(doc, "trials", json::Value::Kind::kArray, st, "document");
   if (!st.ok()) return st;
@@ -721,6 +722,37 @@ Status validate_metrics(const json::Value& doc) {
   require(*graph, "m", json::Value::Kind::kNumber, st, "graph");
   if (!st.ok()) return st;
   if (workers->number < 1) return schema_fail("workers < 1");
+
+  // Load / registry / serving-mode counters are optional params, but when
+  // present they must be well-formed non-negative numbers (drivers emit
+  // them via record_load and ServeHarness::record in apps/common.h).
+  for (const char* key :
+       {"registry_hits", "registry_misses", "registry_bytes_mapped",
+        "warm_load_bytes_mapped", "serve_opens", "peak_rss_cold_bytes",
+        "load_bytes_mapped", "load_wall_ns", "peak_rss_bytes"}) {
+    if (const json::Value* v = params->find(key)) {
+      if (!v->is_number() || v->number < 0) {
+        return schema_fail("params." + std::string(key) +
+                           " must be a non-negative number");
+      }
+    }
+  }
+  const json::Value* reg_hits = params->find("registry_hits");
+  const json::Value* reg_misses = params->find("registry_misses");
+  if ((reg_hits == nullptr) != (reg_misses == nullptr)) {
+    return schema_fail(
+        "params.registry_hits and params.registry_misses travel together");
+  }
+  if (const json::Value* serve_opens = params->find("serve_opens")) {
+    if (serve_opens->number < 1) return schema_fail("params.serve_opens < 1");
+    // Every .pgr open counts exactly one hit or miss; non-.pgr opens count
+    // neither — so hit + miss never exceeds the open count.
+    if (reg_hits != nullptr &&
+        reg_hits->number + reg_misses->number > serve_opens->number) {
+      return schema_fail(
+          "params: registry_hits + registry_misses > serve_opens");
+    }
+  }
 
   for (std::size_t i = 0; i < trials->array.size(); ++i) {
     if (Status s = validate_trial(trials->array[i], i); !s.ok()) return s;

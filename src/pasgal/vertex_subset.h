@@ -2,7 +2,10 @@
 // (byte mask) representation, mirroring the Ligra/GBBS abstraction the
 // baselines in the paper are built on.
 //
-// Invariant: the sparse vertex list is always sorted ascending. Frontiers
+// Invariant: the sparse vertex list is always sorted ascending and
+// duplicate-free (hash-bag extractions are multisets, so sparse()
+// deduplicates; size() and out_degree_sum() count each member once in
+// either representation). Frontiers
 // coming out of edge_map are nearly sorted already (they are filters over
 // per-vertex sorted runs), so the is_sorted guard below makes maintaining
 // the invariant close to free while `contains` gets to binary-search
@@ -28,6 +31,12 @@ class VertexSubset {
     if (!std::is_sorted(s.sparse_.begin(), s.sparse_.end())) {
       std::sort(s.sparse_.begin(), s.sparse_.end());
     }
+    // Hash-bag extractions are multisets (a vertex can be inserted by
+    // several neighbors in one round); a frontier is a set. Without this,
+    // size() and out_degree_sum() overstate and the duplicates skew
+    // edge_map's sparse/dense direction decision.
+    s.sparse_.erase(std::unique(s.sparse_.begin(), s.sparse_.end()),
+                    s.sparse_.end());
     s.is_dense_ = false;
     return s;
   }
@@ -68,7 +77,7 @@ class VertexSubset {
     if (is_dense_) return;
     dense_.assign(n_, 0);
     parallel_for(0, sparse_.size(), [&](std::size_t i) { dense_[sparse_[i]] = 1; });
-    dense_count_ = sparse_.size();
+    dense_count_ = sparse_.size();  // exact: sparse_ is duplicate-free
     sparse_.clear();
     is_dense_ = true;
   }

@@ -1,0 +1,101 @@
+// Tests for the memory-ceiling resolution in resource.h, centered on the
+// PASGAL_MEM_LIMIT_MB overflow bug: `mb * 1024 * 1024` used to wrap for
+// large values, silently turning a huge requested ceiling into a tiny one
+// that rejected every allocation. Overflow is now a kUsage error.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "pasgal/error.h"
+#include "pasgal/resource.h"
+
+namespace pasgal {
+namespace {
+
+// Scoped PASGAL_MEM_LIMIT_MB override; restores the prior value on exit so
+// tests cannot leak environment into each other.
+class ScopedMemLimitEnv {
+ public:
+  explicit ScopedMemLimitEnv(const std::string& value) {
+    const char* old = std::getenv("PASGAL_MEM_LIMIT_MB");
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv("PASGAL_MEM_LIMIT_MB", value.c_str(), 1);
+  }
+  ~ScopedMemLimitEnv() {
+    if (had_old_) {
+      ::setenv("PASGAL_MEM_LIMIT_MB", old_.c_str(), 1);
+    } else {
+      ::unsetenv("PASGAL_MEM_LIMIT_MB");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ResourceTest, MbToBytesConvertsSmallValues) {
+  EXPECT_EQ(internal::mem_limit_mb_to_bytes(1), std::uint64_t{1} << 20);
+  EXPECT_EQ(internal::mem_limit_mb_to_bytes(4096), std::uint64_t{4096} << 20);
+}
+
+TEST(ResourceTest, MbToBytesAcceptsTheExactCeiling) {
+  // The largest representable limit converts without throwing and lands on
+  // the top of the 64-bit range (all MB fully shifted in).
+  std::uint64_t bytes = internal::mem_limit_mb_to_bytes(internal::kMaxMemLimitMb);
+  EXPECT_EQ(bytes, internal::kMaxMemLimitMb << 20);
+}
+
+TEST(ResourceTest, MbToBytesRejectsOverflow) {
+  // One past the ceiling used to wrap to a near-zero byte count; it must
+  // now be a usage error naming the offending value.
+  try {
+    internal::mem_limit_mb_to_bytes(internal::kMaxMemLimitMb + 1);
+    FAIL() << "overflowing MB value did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+  }
+}
+
+TEST(ResourceTest, DetectHonorsValidEnvValue) {
+  ScopedMemLimitEnv env("512");
+  EXPECT_EQ(internal::detect_memory_limit_bytes(), std::uint64_t{512} << 20);
+}
+
+TEST(ResourceTest, DetectRejectsOverflowingEnvValue) {
+  // 2^44 MB = 2^64 bytes: the first value whose conversion no longer fits.
+  ScopedMemLimitEnv env(std::to_string(internal::kMaxMemLimitMb + 1));
+  EXPECT_THROW(internal::detect_memory_limit_bytes(), Error);
+}
+
+TEST(ResourceTest, DetectRejectsAstronomicalEnvValue) {
+  // Way past even ULLONG_MAX: strtoull saturates with ERANGE, and the
+  // saturated value is rejected like any other overflowing one instead of
+  // silently wrapping.
+  ScopedMemLimitEnv env("999999999999999999999999");
+  EXPECT_THROW(internal::detect_memory_limit_bytes(), Error);
+}
+
+TEST(ResourceTest, DetectIgnoresMalformedEnvValues) {
+  // Non-numeric / non-positive values fall through to system detection,
+  // which on Linux reads /proc/meminfo — either way the result is nonzero.
+  for (const char* bad : {"", "abc", "-5", "0", "12abc"}) {
+    ScopedMemLimitEnv env(bad);
+    EXPECT_GT(internal::detect_memory_limit_bytes(), 0u) << "value: " << bad;
+  }
+}
+
+TEST(ResourceTest, CheckAllocationUsesTheCachedLimit) {
+  EXPECT_TRUE(check_allocation(1, "tiny probe").ok());
+  Status s = check_allocation(~std::uint64_t{0}, "absurd probe");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.category(), ErrorCategory::kResource);
+}
+
+}  // namespace
+}  // namespace pasgal

@@ -88,6 +88,54 @@ TEST(VertexSubset, SparseContainsAgreesWithDense) {
   }
 }
 
+// --- duplicate handling ------------------------------------------------------
+// Hash-bag extractions are multisets (several neighbors can insert the same
+// vertex in one round). sparse() must deduplicate, or size() and
+// out_degree_sum() overstate — and to_dense() then disagrees with the
+// sparse representation about the frontier's cardinality, skewing
+// edge_map's sparse/dense direction decision.
+
+TEST(VertexSubset, SparseDeduplicatesMultisetInput) {
+  auto s = VertexSubset::sparse(50, {7, 3, 7, 7, 11, 3});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{3, 7, 11}));
+}
+
+TEST(VertexSubset, SparseDeduplicatesSortedInput) {
+  // Already-sorted input skips the sort; dedup must still run.
+  auto s = VertexSubset::sparse(10, {1, 1, 2, 3});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(VertexSubset, DuplicateHeavyFrontierSameSizeInBothRepresentations) {
+  std::vector<VertexId> dups;
+  for (int round = 0; round < 4; ++round) {
+    for (VertexId v : {2, 9, 9, 17, 2, 30}) dups.push_back(v);
+  }
+  auto s = VertexSubset::sparse(40, dups);
+  std::size_t sparse_size = s.size();
+  EXPECT_EQ(sparse_size, 4u);
+  s.to_dense();
+  EXPECT_EQ(s.size(), sparse_size)
+      << "to_dense must not change the frontier's cardinality";
+  s.to_sparse();
+  EXPECT_EQ(s.size(), sparse_size);
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{2, 9, 17, 30}));
+}
+
+TEST(VertexSubset, OutDegreeSumCountsDuplicatesOnce) {
+  Graph g = gen::rmat(10, 8000, 3);
+  std::vector<VertexId> verts{0, 5, 100, 5, 500, 100, 1000, 0, 0};
+  EdgeId expected = 0;
+  for (VertexId v : {0, 5, 100, 500, 1000}) expected += g.out_degree(v);
+  auto s = VertexSubset::sparse(g.num_vertices(), verts);
+  EXPECT_EQ(s.out_degree_sum(g), expected);
+  s.to_dense();
+  EXPECT_EQ(s.out_degree_sum(g), expected)
+      << "the density signal must agree across representations";
+}
+
 TEST(VertexSubset, LargeSubsetCount) {
   Scheduler::reset(4);
   std::vector<std::uint8_t> mask(100000);
