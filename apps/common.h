@@ -179,6 +179,12 @@ struct LoadedGraph {
   std::uint64_t bytes_mapped = 0;
   double seconds = 0;
   bool registry_hit = false;  // this open shared a pre-existing mapping
+  // Compressed .pgr accounting (PgrOpenStats): encoded on-disk size of the
+  // targets section and the decode wall time this open paid (0 when the
+  // registry handed back an already-decoded storage).
+  bool compressed = false;
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t decode_wall_ns = 0;
 };
 
 namespace internal {
@@ -205,7 +211,11 @@ inline LoadedGraph load_graph_timed(const std::string& spec,
   if (internal::ends_with(spec, ".pgr")) {
     PgrOpen mode =
         common.load_mode == "copy" ? PgrOpen::kCopy : PgrOpen::kMmap;
-    out.graph = read_pgr(spec, mode, common.validate);
+    PgrOpenStats stats;
+    out.graph = read_pgr(spec, mode, common.validate, &stats);
+    out.compressed = stats.compressed;
+    out.encoded_bytes = stats.encoded_target_bytes;
+    out.decode_wall_ns = stats.decode_wall_ns;
     out.mode = mode == PgrOpen::kCopy ? "pgr-copy" : "pgr-mmap";
     if (common.validate) {
       std::printf("validate: ok (n=%zu m=%zu)\n", out.graph.num_vertices(),
@@ -236,6 +246,9 @@ struct LoadedWeightedGraph {
   std::uint64_t bytes_mapped = 0;
   double seconds = 0;
   bool registry_hit = false;
+  bool compressed = false;  // see LoadedGraph
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t decode_wall_ns = 0;
 };
 
 // Weighted load for the sssp driver: a weighted `.pgr` supplies its own
@@ -257,7 +270,11 @@ inline LoadedWeightedGraph load_weighted_graph_timed(
     LoadedWeightedGraph out;
     PgrOpen mode =
         common.load_mode == "copy" ? PgrOpen::kCopy : PgrOpen::kMmap;
-    out.graph = read_weighted_pgr(spec, mode, common.validate);
+    PgrOpenStats stats;
+    out.graph = read_weighted_pgr(spec, mode, common.validate, &stats);
+    out.compressed = stats.compressed;
+    out.encoded_bytes = stats.encoded_target_bytes;
+    out.decode_wall_ns = stats.decode_wall_ns;
     out.mode = mode == PgrOpen::kCopy ? "pgr-copy" : "pgr-mmap";
     out.weights_origin = "file";
     if (common.validate) {
@@ -282,6 +299,9 @@ inline LoadedWeightedGraph load_weighted_graph_timed(
   out.bytes_mapped = base.bytes_mapped;
   out.seconds = base.seconds;
   out.registry_hit = base.registry_hit;
+  out.compressed = base.compressed;
+  out.encoded_bytes = base.encoded_bytes;
+  out.decode_wall_ns = base.decode_wall_ns;
   return out;
 }
 
@@ -292,13 +312,39 @@ inline void record_load_params(MetricsDoc& doc, const std::string& mode,
   doc.set_param("load_wall_ns", static_cast<std::uint64_t>(seconds * 1e9));
 }
 
+// Compression trio (schema-checked to travel together): emitted only for
+// compressed .pgr loads. The ratio compares the raw targets array the file
+// would have carried uncompressed against the encoded section actually on
+// disk; decode_wall_ns is 0 when this open reused a registry-shared storage
+// whose targets were already decoded.
+inline void record_compression(MetricsDoc& doc, std::uint64_t num_edges,
+                               std::uint64_t encoded_bytes,
+                               std::uint64_t decode_wall_ns) {
+  std::uint64_t raw_bytes = num_edges * sizeof(VertexId);
+  doc.set_param("encoded_bytes", encoded_bytes);
+  doc.set_param("compression_ratio",
+                encoded_bytes == 0
+                    ? 1.0
+                    : static_cast<double>(raw_bytes) /
+                          static_cast<double>(encoded_bytes));
+  doc.set_param("decode_wall_ns", decode_wall_ns);
+}
+
 inline void record_load(MetricsDoc& doc, const LoadedGraph& loaded) {
   record_load_params(doc, loaded.mode, loaded.bytes_mapped, loaded.seconds);
+  if (loaded.compressed) {
+    record_compression(doc, loaded.graph.num_edges(), loaded.encoded_bytes,
+                       loaded.decode_wall_ns);
+  }
 }
 
 inline void record_load(MetricsDoc& doc, const LoadedWeightedGraph& loaded) {
   record_load_params(doc, loaded.mode, loaded.bytes_mapped, loaded.seconds);
   doc.set_param("weights", loaded.weights_origin);
+  if (loaded.compressed) {
+    record_compression(doc, loaded.graph.num_edges(), loaded.encoded_bytes,
+                       loaded.decode_wall_ns);
+  }
 }
 
 // --- serving-mode harness ----------------------------------------------------

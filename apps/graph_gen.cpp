@@ -1,10 +1,11 @@
 // Generator utility: write a generated graph to .adj, .bin, or .pgr.
 //
-//   graph_gen <spec> <output.{adj,bin,pgr}> [--transpose] [--validate]
-//             [--json-metrics <path>]
+//   graph_gen <spec> <output.{adj,bin,pgr}> [--transpose] [--compress]
+//             [--validate] [--json-metrics <path>]
 //
 // --transpose embeds the reverse CSR as extra .pgr sections so readers get a
-// pre-populated transpose cache (rejected for other formats).
+// pre-populated transpose cache; --compress delta-varint encodes the .pgr
+// targets section (version-2 file). Both are rejected for other formats.
 //
 // The metrics document records one trial covering generation + write (no
 // rounds — generation has no frontier structure).
@@ -18,9 +19,10 @@ using namespace pasgal;
 
 int main(int argc, char** argv) {
   bool with_transpose = false;
+  bool compress = false;
   cli::OptionSet opts;
   cli::CommonOptions common;
-  opts.flag("--transpose", &with_transpose);
+  opts.flag("--transpose", &with_transpose).flag("--compress", &compress);
   common.declare(opts);
   if (argc < 3) {
     std::fprintf(stderr, "usage: %s <spec> <output.{adj,bin,pgr}> %s\n",
@@ -42,6 +44,10 @@ int main(int argc, char** argv) {
                   "--transpose requires a .pgr output (other formats have no "
                   "transpose sections)");
     }
+    if (compress && !ends_with(".pgr")) {
+      throw Error(ErrorCategory::kUsage,
+                  "--compress requires a .pgr output");
+    }
     Tracer tracer;
     auto start = std::chrono::steady_clock::now();
     Graph g = apps::load_graph(argv[1], common.validate);
@@ -50,6 +56,7 @@ int main(int argc, char** argv) {
     } else if (ends_with(".pgr")) {
       PgrWriteOptions wopts;
       wopts.include_transpose = with_transpose;
+      wopts.compress_targets = compress;
       write_pgr(g, out, wopts);
     } else {
       write_adj(g, out);

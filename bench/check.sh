@@ -59,6 +59,48 @@ cmp "$tmp/grid.bin" "$tmp/grid_rt.bin" || {
   echo "FAIL: .bin -> .pgr -> .bin round-trip is not byte-identical" >&2; exit 1
 }
 
+echo "--- compressed .pgr gate (v2 targets section) ---"
+# Every driver must produce byte-identical result lines on the compressed
+# encoding of the same graph, and its metrics must carry the compression
+# trio (encoded_bytes / compression_ratio / decode_wall_ns).
+"$prefix-san/apps/graph_convert" "$tmp/grid.pgr" "$tmp/grid_c.pgr" \
+    --transpose --compress > /dev/null
+for app in bfs scc bcc sssp; do
+  "$prefix-san/apps/$app" "$tmp/grid_c.pgr" --load mmap -r 1 \
+      --json-metrics "$tmp/${app}_comp.json" | normalize > "$tmp/${app}_comp.txt"
+  diff "$tmp/${app}_mmap.txt" "$tmp/${app}_comp.txt" || {
+    echo "FAIL: $app results differ between compressed and raw .pgr" >&2; exit 1
+  }
+  "$prefix-san/apps/metrics_check" "$tmp/${app}_comp.json"
+  for want in '"encoded_bytes":' '"compression_ratio":' '"decode_wall_ns":'; do
+    grep -q "$want" "$tmp/${app}_comp.json" || {
+      echo "FAIL: $app compressed metrics missing $want" >&2; exit 1
+    }
+  done
+done
+# Size gate: on a bench-suite graph (no transpose sections diluting the
+# ratio) the compressed file must be at least 1.5x smaller.
+"$prefix/apps/graph_gen" grid:300:300 "$tmp/ratio_raw.pgr" > /dev/null
+"$prefix/apps/graph_gen" grid:300:300 "$tmp/ratio_c.pgr" --compress > /dev/null
+raw_bytes=$(wc -c < "$tmp/ratio_raw.pgr")
+comp_bytes=$(wc -c < "$tmp/ratio_c.pgr")
+if [ $((2 * raw_bytes)) -lt $((3 * comp_bytes)) ]; then
+  echo "FAIL: compressed .pgr is $comp_bytes bytes vs $raw_bytes raw" \
+       "(< 1.5x smaller)" >&2
+  exit 1
+fi
+# Warm opens of a compressed graph share the already-decoded storage: the
+# serving run's final (warm) load must report zero decode work.
+"$prefix/apps/bfs" "$tmp/ratio_c.pgr" --serve 1 -r 1 \
+    --json-metrics "$tmp/serve_c.json" > "$tmp/serve_c.txt"
+grep -q 'serve: open 2/2 registry hit (0 new bytes mapped)' "$tmp/serve_c.txt" || {
+  echo "FAIL: compressed warm open was not a zero-byte registry hit" >&2; exit 1
+}
+grep -q '"decode_wall_ns":0' "$tmp/serve_c.json" || {
+  echo "FAIL: compressed warm open paid a decode pass" >&2; exit 1
+}
+"$prefix/apps/metrics_check" "$tmp/serve_c.json"
+
 echo "--- registry warm-open gate (serving mode, plain build) ---"
 # Second open of the same canonical .pgr must be a registry hit that maps
 # zero new bytes and leaves peak RSS flat. Runs on the plain build: ASan's
@@ -111,6 +153,18 @@ expect 4 env PASGAL_MEM_LIMIT_MB=64 "$prefix-san/apps/bfs" rmat:30:1000000000000
 expect 2 env PASGAL_MEM_LIMIT_MB=999999999999999999 "$prefix-san/apps/bfs" chain:100
 "$prefix-san/apps/graph_convert" chain:50 "$tmp/wconf.pgr" --weights 5 > /dev/null
 expect 2 "$prefix-san/apps/sssp" "$tmp/wconf.pgr" -w 7
+expect 2 "$prefix-san/apps/graph_gen" chain:50 "$tmp/nope.bin" --compress
+# A compressed file whose varint stream decodes to an out-of-range target
+# must exit with the input contract code, not crash under ASan. Byte surgery:
+# the targets section offset is the u64 at byte 64; its first payload byte
+# sits at the section's first chunk offset (u64 at section+16); 0x7E decodes
+# to delta +63, far outside a 2-vertex graph.
+"$prefix-san/apps/graph_gen" chain:2 "$tmp/oob.pgr" --compress > /dev/null
+toff=$(od -A n -t u8 -j 64 -N 8 "$tmp/oob.pgr" | tr -d ' ')
+s0=$(od -A n -t u8 -j "$((toff + 16))" -N 8 "$tmp/oob.pgr" | tr -d ' ')
+printf '\176' | dd of="$tmp/oob.pgr" bs=1 seek="$((toff + s0))" \
+    conv=notrunc 2> /dev/null
+expect 3 "$prefix-san/apps/bfs" "$tmp/oob.pgr"
 
 echo
 echo "check.sh: all gates passed"

@@ -12,6 +12,11 @@ namespace pasgal {
 std::vector<std::uint32_t> gapbs_bfs(const Graph& g, const Graph& gt,
                                      VertexId source, GapbsParams params,
                                      RunStats* stats) {
+  // The bottom-up loop below indexes in_frontier[u] with raw gt targets
+  // (it bypasses edge_map and its validation choke point), so un-deep-
+  // validated mmap handles are checked here.
+  g.ensure_validated();
+  gt.ensure_validated();
   std::size_t n = g.num_vertices();
   std::vector<std::atomic<std::uint32_t>> dist(n);
   parallel_for(0, n, [&](std::size_t i) {

@@ -16,6 +16,11 @@
 
 namespace pasgal {
 
+// Every wrapper lazily validates its graph(s) before the timed run: the O(1)
+// mmap open path defers per-element CSR checks, and this is the single choke
+// point where all modern entry points pick them up (no-op after the first
+// call on a given storage handle; see Graph::ensure_validated).
+
 namespace {
 
 PasgalBfsParams bfs_params(const AlgoOptions& opt) {
@@ -53,18 +58,23 @@ SteppingParams stepping_params(const AlgoOptions& opt) {
 
 RunReport<std::vector<std::uint32_t>> seq_bfs(const Graph& g,
                                               const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt,
                     [&](Tracer* t) { return seq_bfs(g, opt.source, t); });
 }
 
 RunReport<std::vector<std::uint32_t>> gbbs_bfs(const Graph& g, const Graph& gt,
                                                const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
   return run_traced(
       opt, [&](Tracer* t) { return gbbs_bfs(g, gt, opt.source, t); });
 }
 
 RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
                                                 const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
   GapbsParams p{opt.gapbs_alpha, opt.gapbs_beta};
   return run_traced(
       opt, [&](Tracer* t) { return gapbs_bfs(g, gt, opt.source, p, t); });
@@ -73,6 +83,8 @@ RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
 RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
                                                  const Graph& gt,
                                                  const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
   PasgalBfsParams p = bfs_params(opt);
   return run_traced(
       opt, [&](Tracer* t) { return pasgal_bfs(g, gt, opt.source, p, t); });
@@ -82,18 +94,21 @@ RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
 
 RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
                                       const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt,
                     [&](Tracer* t) { return dijkstra(g, opt.source, t); });
 }
 
 RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
                                           const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(
       opt, [&](Tracer* t) { return bellman_ford(g, opt.source, t); });
 }
 
 RunReport<std::vector<Dist>> stepping_sssp(
     const WeightedGraph<std::uint32_t>& g, const AlgoOptions& opt) {
+  g.ensure_validated();
   SteppingParams p = stepping_params(opt);
   return run_traced(
       opt, [&](Tracer* t) { return stepping_sssp(g, opt.source, p, t); });
@@ -103,11 +118,14 @@ RunReport<std::vector<Dist>> stepping_sssp(
 
 RunReport<std::vector<SccLabel>> tarjan_scc(const Graph& g,
                                             const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return tarjan_scc(g, t); });
 }
 
 RunReport<std::vector<SccLabel>> pasgal_scc(const Graph& g, const Graph& gt,
                                             const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
   SccParams p = scc_params(opt);
   return run_traced(opt,
                     [&](Tracer* t) { return pasgal_scc(g, gt, p, t); });
@@ -115,12 +133,16 @@ RunReport<std::vector<SccLabel>> pasgal_scc(const Graph& g, const Graph& gt,
 
 RunReport<std::vector<SccLabel>> gbbs_scc(const Graph& g, const Graph& gt,
                                           const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
   SccParams p = scc_params(opt);
   return run_traced(opt, [&](Tracer* t) { return gbbs_scc(g, gt, p, t); });
 }
 
 RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
                                                const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
   MultistepParams p{opt.multistep_cutoff};
   return run_traced(opt,
                     [&](Tracer* t) { return multistep_scc(g, gt, p, t); });
@@ -130,19 +152,23 @@ RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
 
 RunReport<BccResult> hopcroft_tarjan_bcc(const Graph& g,
                                          const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return hopcroft_tarjan_bcc(g, t); });
 }
 
 RunReport<BccResult> fast_bcc(const Graph& g, const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return fast_bcc(g, t); });
 }
 
 RunReport<BccResult> tarjan_vishkin_bcc(const Graph& g,
                                         const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return tarjan_vishkin_bcc(g, t); });
 }
 
 RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return gbbs_bcc(g, t); });
 }
 
@@ -150,11 +176,13 @@ RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt) {
 
 RunReport<ConnectivityResult> connected_components(const Graph& g,
                                                    const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return connected_components(g, t); });
 }
 
 RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
                                                const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return label_prop_cc(g, t); });
 }
 
@@ -162,11 +190,13 @@ RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
 
 RunReport<std::vector<std::uint32_t>> seq_kcore(const Graph& g,
                                                 const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) { return seq_kcore(g, t); });
 }
 
 RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
                                                    const AlgoOptions& opt) {
+  g.ensure_validated();
   KcoreParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) { return pasgal_kcore(g, p, t); });
 }
@@ -175,6 +205,7 @@ RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
 
 RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
                                                    const AlgoOptions& opt) {
+  g.ensure_validated();
   return run_traced(opt, [&](Tracer* t) {
     std::vector<std::uint32_t> levels;
     seq_toposort(g, levels, t).throw_if_error();
@@ -184,6 +215,7 @@ RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
 
 RunReport<std::vector<std::uint32_t>> pasgal_toposort(const Graph& g,
                                                       const AlgoOptions& opt) {
+  g.ensure_validated();
   ToposortParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) {
     std::vector<std::uint32_t> levels;

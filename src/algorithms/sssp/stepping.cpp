@@ -88,8 +88,15 @@ std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
     // Strategy: pick the settling threshold for this step.
     std::uint32_t threshold;
     if (params.strategy == SteppingParams::Strategy::kDelta) {
+      // params.delta is a 64-bit Dist: base + delta can wrap, and a wrapped
+      // sum lands below base, which would settle nothing and re-insert every
+      // entry into the same bucket forever. Saturate on wrap as well as on
+      // overshoot past the 32-bit distance ceiling.
       std::uint64_t t = static_cast<std::uint64_t>(base) + params.delta;
-      threshold = t > kInf32 ? kInf32 - 1 : static_cast<std::uint32_t>(t);
+      if (t < base || t > static_cast<std::uint64_t>(kInf32) - 1) {
+        t = static_cast<std::uint64_t>(kInf32) - 1;
+      }
+      threshold = static_cast<std::uint32_t>(t);
     } else if (valid.size() <= params.rho) {
       threshold = kInf32 - 1;  // settle everything extracted
     } else {

@@ -115,6 +115,21 @@ class Graph {
   // CSR invariant check; see validate_csr() above.
   Status validate() const { return validate_csr(offsets_, targets_); }
 
+  // Lazily validates an un-deep-validated storage (the O(1) `.pgr` mmap
+  // open skips per-element checks). Algorithm entry points call this before
+  // unchecked offsets[]/targets[] indexing, so a well-formed-header file
+  // with out-of-range targets fails with a typed kValidation error instead
+  // of reading out of bounds. One pass per storage handle: the result is
+  // cached on it, so copies and repeat runs pay a single atomic load.
+  void ensure_validated() const {
+    if (storage_ == nullptr || storage_->validated()) return;
+    Status s = validate();
+    if (!s.ok()) {
+      throw Error(s.category(), s.message(), storage_->source_path());
+    }
+    storage_->mark_validated();
+  }
+
   std::vector<Edge> to_edges() const {
     std::vector<Edge> edges(num_edges());
     parallel_for(0, num_vertices(), [&](std::size_t v) {
@@ -209,6 +224,10 @@ class WeightedGraph {
     }
     return Status::Ok();
   }
+
+  // See Graph::ensure_validated(): weights are storage-sized by the read
+  // paths, so the structural CSR check is the part that can be deferred.
+  void ensure_validated() const { graph_.ensure_validated(); }
 
   static WeightedGraph from_edges(std::size_t n,
                                   std::span<const WeightedEdge<W>> edges);

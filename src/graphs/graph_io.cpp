@@ -1,10 +1,14 @@
 #include "graphs/graph_io.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "graphs/registry.h"
@@ -281,8 +285,9 @@ Graph read_bin(const std::string& path) {
 //
 // Byte layout (all fields little-endian, as written by this host):
 //   [  0,   8)  magic "PGRGRAPH"
-//   [  8,  12)  u32 version (kPgrVersion)
-//   [ 12,  16)  u32 flags: bit0 weighted, bit1 symmetric, bit2 has_transpose
+//   [  8,  12)  u32 version (1 raw, 2 when the targets section is compressed)
+//   [ 12,  16)  u32 flags: bit0 weighted, bit1 symmetric, bit2 has_transpose,
+//               bit3 compressed targets (version 2 only)
 //   [ 16,  24)  u64 n
 //   [ 24,  32)  u64 m
 //   [ 32,  40)  u64 number of non-empty sections
@@ -293,9 +298,28 @@ Graph read_bin(const std::string& path) {
 //   [160, 192)  reserved, must be zero
 // Sections follow, each starting on a 64-byte boundary (zero padding in the
 // gaps), in canonical order, with no trailing bytes after the last section.
-// The layout is fully determined by (n, m, flags); the reader recomputes it
-// and rejects any file whose table or size disagrees — so seeking past the
-// header is safe without trusting the table.
+// In version 1 the layout is fully determined by (n, m, flags); the reader
+// recomputes it and rejects any file whose table or size disagrees — so
+// seeking past the header is safe without trusting the table. In version 2
+// the compressed targets section has a content-dependent size, so its byte
+// count comes from the section table; every other entry is still recomputed,
+// and the total (including the table's claim for targets) must equal the
+// file size exactly.
+//
+// Compressed targets section (version 2, flag bit3; DESIGN.md §5f):
+//   [ 0,  8)  u64 chunk count C (= ceil(n / V))
+//   [ 8, 16)  u64 vertices per chunk V (>= 1)
+//   [16, 16 + (C+1)*8)  u64 stream_off[0..C], byte offsets relative to the
+//             section start. stream_off[c] for c < C is the 64-byte-aligned
+//             start of chunk c's varint stream; stream_off[C] is the exact
+//             end of the last chunk's payload (== section byte count).
+// Chunk c encodes the adjacency lists of vertices [c*V, min(n, (c+1)*V)) as
+// GBBS-style delta varints: per vertex, the first target is delta'd against
+// the source vertex id and each subsequent target against the previous one;
+// deltas are zigzag-mapped and LEB128-encoded (7 bits per byte, high bit =
+// continuation). Bytes between a chunk's payload end (implicit — the decoder
+// knows every degree from the offsets section) and the next chunk's aligned
+// start must be zero.
 
 namespace {
 
@@ -305,8 +329,14 @@ constexpr std::uint64_t kPgrAlign = 64;
 constexpr std::uint32_t kPgrFlagWeighted = 1u << 0;
 constexpr std::uint32_t kPgrFlagSymmetric = 1u << 1;
 constexpr std::uint32_t kPgrFlagTranspose = 1u << 2;
+constexpr std::uint32_t kPgrFlagCompressed = 1u << 3;
 constexpr std::uint32_t kPgrKnownFlags =
     kPgrFlagWeighted | kPgrFlagSymmetric | kPgrFlagTranspose;
+constexpr std::uint32_t kPgrKnownFlagsV2 = kPgrKnownFlags | kPgrFlagCompressed;
+// Writer's chunking granularity. Any V >= 1 is readable; 1024 keeps chunks
+// around a few KB on typical degree distributions (good decode parallelism,
+// ~32 bytes of alignment padding amortized per chunk).
+constexpr std::uint64_t kPgrVerticesPerChunk = 1024;
 constexpr int kPgrSections = 5;
 constexpr const char* kPgrSectionName[kPgrSections] = {
     "offsets", "targets", "weights", "transpose offsets", "transpose targets"};
@@ -328,6 +358,7 @@ struct PgrHeader {
   bool weighted() const { return flags & kPgrFlagWeighted; }
   bool symmetric() const { return flags & kPgrFlagSymmetric; }
   bool has_transpose() const { return flags & kPgrFlagTranspose; }
+  bool compressed() const { return flags & kPgrFlagCompressed; }
 };
 
 struct PgrLayout {
@@ -342,13 +373,18 @@ std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
 }
 
 // Canonical section placement for (n, m, flags). Callers must have passed
-// the footprint check first so the size arithmetic cannot overflow.
+// the footprint check first so the size arithmetic cannot overflow. When the
+// targets section is compressed its size is content-dependent: the caller
+// supplies it (from the encoder on write, from the — bounded — section table
+// on read; the file-size cross-check in check_pgr_layout keeps a lying table
+// from surviving).
 PgrLayout pgr_layout(std::uint64_t n, std::uint64_t m, bool weighted,
-                     bool has_transpose) {
+                     bool has_transpose, bool compressed = false,
+                     std::uint64_t encoded_target_bytes = 0) {
   PgrLayout layout;
   const std::uint64_t sizes[kPgrSections] = {
       (n + 1) * sizeof(EdgeId),
-      m * sizeof(VertexId),
+      compressed ? encoded_target_bytes : m * sizeof(VertexId),
       weighted ? m * sizeof(std::uint32_t) : 0,
       has_transpose ? (n + 1) * sizeof(EdgeId) : 0,
       has_transpose ? m * sizeof(VertexId) : 0,
@@ -371,11 +407,227 @@ void put(std::span<char> buf, std::size_t at, T value) {
   std::memcpy(buf.data() + at, &value, sizeof(T));
 }
 
+// --- compressed targets codec ------------------------------------------------
+
+std::uint64_t zigzag_encode(std::int64_t d) {
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
+}
+
+void append_varint(std::vector<char>& buf, std::uint64_t x) {
+  do {
+    unsigned char b = x & 0x7F;
+    x >>= 7;
+    if (x != 0) b |= 0x80;
+    buf.push_back(static_cast<char>(b));
+  } while (x != 0);
+}
+
+// Encodes the full targets section payload (chunk directory + per-chunk
+// varint streams) for `n` vertices. Empty when m == 0 (the section is then
+// absent, like an empty raw targets section).
+std::vector<char> encode_targets_section(std::span<const EdgeId> offsets,
+                                         std::span<const VertexId> targets,
+                                         std::uint64_t n) {
+  if (targets.empty()) return {};
+  const std::uint64_t V = kPgrVerticesPerChunk;
+  const std::uint64_t C = (n + V - 1) / V;
+  // Phase 1: encode every chunk independently (the output bytes do not
+  // depend on the worker count, so compressed files are deterministic).
+  auto chunks = tabulate(C, [&](std::size_t c) {
+    std::vector<char> buf;
+    std::uint64_t lo = c * V;
+    std::uint64_t hi = std::min<std::uint64_t>(n, lo + V);
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      std::int64_t prev = static_cast<std::int64_t>(v);
+      for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+        std::int64_t t = static_cast<std::int64_t>(targets[e]);
+        append_varint(buf, zigzag_encode(t - prev));
+        prev = t;
+      }
+    }
+    return buf;
+  });
+  // Phase 2: lay the chunks out 64-byte aligned after the directory; the
+  // last chunk's end is exact (stream_off[C] == section bytes), so the
+  // section carries no trailing padding of ambiguous meaning.
+  std::uint64_t dir_bytes = 16 + (C + 1) * 8;
+  std::vector<std::uint64_t> stream(C + 1);
+  std::uint64_t pos = align_up(dir_bytes, kPgrAlign);
+  for (std::uint64_t c = 0; c < C; ++c) {
+    stream[c] = pos;
+    pos += chunks[c].size();
+    if (c + 1 < C) pos = align_up(pos, kPgrAlign);
+  }
+  stream[C] = pos;
+  std::vector<char> out(pos, 0);
+  put(std::span<char>(out), 0, C);
+  put(std::span<char>(out), 8, V);
+  for (std::uint64_t c = 0; c <= C; ++c) {
+    put(std::span<char>(out), 16 + c * 8, stream[c]);
+  }
+  parallel_for(
+      0, C,
+      [&](std::size_t c) {
+        if (!chunks[c].empty()) {
+          std::memcpy(out.data() + stream[c], chunks[c].data(),
+                      chunks[c].size());
+        }
+      },
+      1);
+  return out;
+}
+
 template <typename T>
 T get(const std::byte* base, std::size_t at) {
   T value;
   std::memcpy(&value, base + at, sizeof(T));
   return value;
+}
+
+// Decodes a compressed targets section into `out` (size m), validating as it
+// goes: the chunk directory must be canonical for (n, section size), every
+// varint must terminate inside its chunk, padding bytes must be zero, and
+// every decoded target must lie in [0, n). Callers must have verified the
+// offsets array first (monotone, offsets[0] == 0, offsets[n] == m) — the
+// per-vertex degrees come from it. On success the decoded CSR satisfies the
+// full validate_csr contract, so the storage can be marked validated.
+void decode_targets_section(const std::byte* sec, std::uint64_t sec_bytes,
+                            std::uint64_t n, std::uint64_t m,
+                            std::span<const EdgeId> offsets,
+                            std::span<VertexId> out, const std::string& path) {
+  auto bad = [&](const std::string& why,
+                 std::uint64_t at = kNoOffset) -> Error {
+    return Error(ErrorCategory::kFormat, "compressed targets: " + why, path,
+                 at);
+  };
+  if (m == 0) return;
+  if (sec_bytes < 16) throw bad("section too small for its chunk header");
+  const std::uint64_t C = get<std::uint64_t>(sec, 0);
+  const std::uint64_t V = get<std::uint64_t>(sec, 8);
+  if (V == 0) throw bad("vertices-per-chunk is zero");
+  if (C != (n + V - 1) / V) {
+    throw bad("chunk count " + std::to_string(C) +
+              " does not match ceil(n / " + std::to_string(V) + ")");
+  }
+  // C <= n here (V >= 1 and n <= 2^32), so the directory size fits in u64.
+  const std::uint64_t dir_bytes = 16 + (C + 1) * 8;
+  if (dir_bytes > sec_bytes) throw bad("chunk directory overruns the section");
+  auto stream_off = [&](std::uint64_t c) {
+    return get<std::uint64_t>(sec, 16 + c * 8);
+  };
+  if (stream_off(0) != align_up(dir_bytes, kPgrAlign)) {
+    throw bad("first chunk is not 64-byte aligned after the directory");
+  }
+  if (stream_off(C) != sec_bytes) {
+    throw bad("last chunk offset " + std::to_string(stream_off(C)) +
+              " does not equal the section size " + std::to_string(sec_bytes));
+  }
+  std::size_t dir_violations = count_if_index(C, [&](std::size_t c) {
+    return stream_off(c) % kPgrAlign != 0 || stream_off(c) > stream_off(c + 1);
+  });
+  if (dir_violations != 0) {
+    throw bad("chunk directory is not aligned and monotone");
+  }
+
+  // Parallel per-chunk decode. Workers cannot throw across the scheduler, so
+  // the first error is captured and rethrown after the loop; later workers
+  // bail out early once one has failed.
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::unique_ptr<Error> first_err;
+  auto record = [&](Error e) {
+    if (!failed.exchange(true, std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      first_err = std::make_unique<Error>(std::move(e));
+    }
+  };
+  parallel_for(0, C, [&](std::size_t c) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(sec) + stream_off(c);
+    const unsigned char* limit =
+        reinterpret_cast<const unsigned char*>(sec) + stream_off(c + 1);
+    std::uint64_t lo = c * V;
+    std::uint64_t hi = std::min<std::uint64_t>(n, lo + V);
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      std::int64_t prev = static_cast<std::int64_t>(v);
+      for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+        std::uint64_t raw = 0;
+        unsigned shift = 0;
+        while (true) {
+          if (p == limit) {
+            record(bad("truncated varint stream in chunk " +
+                       std::to_string(c)));
+            return;
+          }
+          unsigned char byte = *p++;
+          if (shift >= 63 && (byte & 0x7E) != 0) {
+            record(bad("varint overflows 64 bits in chunk " +
+                       std::to_string(c)));
+            return;
+          }
+          raw |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+          if ((byte & 0x80) == 0) break;
+          shift += 7;
+          if (shift > 63) {
+            record(bad("varint longer than 10 bytes in chunk " +
+                       std::to_string(c)));
+            return;
+          }
+        }
+        std::int64_t t = prev + zigzag_decode(raw);
+        if (t < 0 || static_cast<std::uint64_t>(t) >= n) {
+          record(Error(ErrorCategory::kValidation,
+                       "compressed targets: decoded target " +
+                           std::to_string(t) + " out of range [0, " +
+                           std::to_string(n) + ") for vertex " +
+                           std::to_string(v),
+                       path));
+          return;
+        }
+        out[e] = static_cast<VertexId>(t);
+        prev = t;
+      }
+    }
+    // Alignment padding up to the next chunk must be zero — a nonzero byte
+    // is either garbage or a payload the degrees say should not exist.
+    while (p < limit) {
+      if (*p++ != 0) {
+        record(bad("nonzero padding after chunk " + std::to_string(c) +
+                   " payload"));
+        return;
+      }
+    }
+  });
+  if (failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    throw *first_err;
+  }
+}
+
+// Offsets sanity required before decode can trust per-vertex degrees (and
+// exactly the offsets half of the validate_csr contract).
+void check_offsets_for_decode(std::span<const EdgeId> offsets, std::uint64_t n,
+                              std::uint64_t m, const std::string& path) {
+  if (offsets[0] != 0) {
+    fail(ErrorCategory::kValidation, path, "offsets[0] != 0");
+  }
+  if (offsets[n] != m) {
+    fail(ErrorCategory::kValidation, path,
+         "offsets[n] = " + std::to_string(offsets[n]) +
+             " but the header claims m = " + std::to_string(m));
+  }
+  std::size_t violations = count_if_index(
+      n, [&](std::size_t v) { return offsets[v + 1] < offsets[v]; });
+  if (violations != 0) {
+    fail(ErrorCategory::kValidation, path,
+         "offsets are not monotone (cannot derive degrees for decode)");
+  }
 }
 
 // Parses and structurally checks the fixed-size header. Section bytes are
@@ -403,16 +655,20 @@ PgrHeader parse_pgr_header(const std::byte* base, std::uint64_t file_size,
     h.sec[i].bytes = get<std::uint64_t>(base, at + 8);
     h.sec[i].checksum = get<std::uint64_t>(base, at + 16);
   }
-  if (h.version != kPgrVersion) {
+  if (h.version != kPgrVersion && h.version != kPgrVersionCompressed) {
     fail(ErrorCategory::kFormat, path,
          "unsupported .pgr version " + std::to_string(h.version) +
-             " (this build reads version " + std::to_string(kPgrVersion) + ")",
+             " (this build reads versions " + std::to_string(kPgrVersion) +
+             " and " + std::to_string(kPgrVersionCompressed) + ")",
          8);
   }
-  if (h.flags & ~kPgrKnownFlags) {
+  // The compressed-targets bit exists only in version 2; a v1 file carrying
+  // it is malformed, not forward-compatible.
+  std::uint32_t known =
+      h.version == kPgrVersionCompressed ? kPgrKnownFlagsV2 : kPgrKnownFlags;
+  if (h.flags & ~known) {
     fail(ErrorCategory::kFormat, path,
-         "unknown flag bits 0x" + std::to_string(h.flags & ~kPgrKnownFlags),
-         12);
+         "unknown flag bits 0x" + std::to_string(h.flags & ~known), 12);
   }
   return h;
 }
@@ -431,7 +687,24 @@ void check_pgr_layout(const PgrHeader& h, std::uint64_t file_size,
              " exceeds the 32-bit vertex-id space",
          16);
   }
-  PgrLayout layout = pgr_layout(h.n, h.m, h.weighted(), h.has_transpose());
+  // A compressed targets section has a content-dependent size, taken from
+  // the table. Bound it before it feeds the layout arithmetic: it can never
+  // exceed the file, and an empty edge set means no section at all.
+  if (h.compressed()) {
+    if (h.sec[1].bytes > file_size) {
+      fail(ErrorCategory::kFormat, path,
+           "compressed targets section claims " +
+               std::to_string(h.sec[1].bytes) + " bytes but the file has " +
+               std::to_string(file_size),
+           40 + 24 + 8);
+    }
+    if ((h.m == 0) != (h.sec[1].bytes == 0)) {
+      fail(ErrorCategory::kFormat, path,
+           "compressed targets section size disagrees with m", 40 + 24 + 8);
+    }
+  }
+  PgrLayout layout = pgr_layout(h.n, h.m, h.weighted(), h.has_transpose(),
+                                h.compressed(), h.sec[1].bytes);
   if (h.section_count != layout.section_count) {
     fail(ErrorCategory::kFormat, path,
          "header lists " + std::to_string(h.section_count) +
@@ -494,17 +767,29 @@ void write_pgr_impl(const Graph& g, bool weighted,
   std::span<const EdgeId> t_offsets = t.offsets();
   if (opts.include_transpose && t_offsets.empty()) t_offsets = kZeroOffset;
 
+  // Compression replaces the raw targets section with the varint-encoded
+  // payload and bumps the version; uncompressed output stays version 1, so
+  // existing files and byte-level round-trips are untouched.
+  std::vector<char> encoded;
+  if (opts.compress_targets) {
+    encoded = encode_targets_section(offsets, g.targets(), n);
+  }
   const void* data[kPgrSections] = {
-      offsets.data(), g.targets().data(), weights.data(), t_offsets.data(),
-      t.targets().data()};
-  PgrLayout layout = pgr_layout(n, m, weighted, opts.include_transpose);
+      offsets.data(),
+      opts.compress_targets ? static_cast<const void*>(encoded.data())
+                            : static_cast<const void*>(g.targets().data()),
+      weights.data(), t_offsets.data(), t.targets().data()};
+  PgrLayout layout = pgr_layout(n, m, weighted, opts.include_transpose,
+                                opts.compress_targets, encoded.size());
 
   std::vector<char> header(kPgrHeaderBytes, 0);
   std::memcpy(header.data(), kPgrMagic, sizeof(kPgrMagic));
-  put(std::span<char>(header), 8, kPgrVersion);
+  put(std::span<char>(header), 8,
+      opts.compress_targets ? kPgrVersionCompressed : kPgrVersion);
   std::uint32_t flags = (weighted ? kPgrFlagWeighted : 0) |
                         (opts.symmetric ? kPgrFlagSymmetric : 0) |
-                        (opts.include_transpose ? kPgrFlagTranspose : 0);
+                        (opts.include_transpose ? kPgrFlagTranspose : 0) |
+                        (opts.compress_targets ? kPgrFlagCompressed : 0);
   put(std::span<char>(header), 12, flags);
   put(std::span<char>(header), 16, n);
   put(std::span<char>(header), 24, m);
@@ -538,16 +823,20 @@ void write_pgr_impl(const Graph& g, bool weighted,
 struct OpenedPgr {
   StorageRef storage;
   PgrInfo info;
+  PgrOpenStats stats;
 };
 
 PgrInfo info_of(const PgrHeader& h, std::uint64_t file_size) {
   PgrInfo info;
   info.n = h.n;
   info.m = h.m;
+  info.version = h.version;
   info.weighted = h.weighted();
   info.symmetric = h.symmetric();
   info.has_transpose = h.has_transpose();
+  info.compressed = h.compressed();
   info.file_bytes = file_size;
+  info.encoded_target_bytes = h.sec[1].bytes;
   return info;
 }
 
@@ -558,15 +847,18 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
   PgrHeader h = parse_pgr_header(base, map->size(), path);
   check_pgr_layout(h, map->size(), path);
   // The copy path always gets the full untrusted-input treatment; the mmap
-  // path verifies content only on request (O(1) open).
+  // path verifies content only on request (O(1) open). Compressed targets
+  // are necessarily fully verified either way: the decoder range-checks
+  // offsets and every decoded target.
   bool deep = validate || mode == PgrOpen::kCopy;
   if (deep) check_pgr_checksums(h, base, path);
 
   std::span<const EdgeId> offsets{
       reinterpret_cast<const EdgeId*>(base + h.sec[0].off), h.n + 1};
-  std::span<const VertexId> targets{
-      h.m ? reinterpret_cast<const VertexId*>(base + h.sec[1].off) : nullptr,
-      h.m};
+  std::span<const VertexId> targets;
+  if (!h.compressed() && h.m != 0) {
+    targets = {reinterpret_cast<const VertexId*>(base + h.sec[1].off), h.m};
+  }
   std::span<const std::uint32_t> weights;
   if (h.weighted() && h.m != 0) {
     weights = {reinterpret_cast<const std::uint32_t*>(base + h.sec[2].off),
@@ -575,8 +867,33 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
 
   OpenedPgr out;
   out.info = info_of(h, map->size());
+  out.stats.compressed = h.compressed();
+  out.stats.encoded_target_bytes = h.sec[1].bytes;
+
+  // Decode compressed targets into heap memory up front (parallel, timed).
+  // The footprint check in check_pgr_layout already covered the decoded
+  // array — it charges the full CSR including m targets — so this is the
+  // same single guard point the raw readers go through.
+  std::vector<VertexId> decoded;
+  if (h.compressed()) {
+    auto t0 = std::chrono::steady_clock::now();
+    check_offsets_for_decode(offsets, h.n, h.m, path);
+    decoded.resize(h.m);
+    decode_targets_section(base + h.sec[1].off, h.sec[1].bytes, h.n, h.m,
+                           offsets, decoded, path);
+    out.stats.decode_wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    targets = decoded;
+  }
+
   if (mode == PgrOpen::kMmap) {
-    out.storage = GraphStorage::mapped(map, path, offsets, targets, weights);
+    out.storage =
+        h.compressed()
+            ? GraphStorage::mapped_with_decoded_targets(
+                  map, path, offsets, std::move(decoded), weights)
+            : GraphStorage::mapped(map, path, offsets, targets, weights);
     if (h.has_transpose()) {
       std::span<const EdgeId> t_offsets{
           reinterpret_cast<const EdgeId*>(base + h.sec[3].off), h.n + 1};
@@ -584,14 +901,16 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
           h.m ? reinterpret_cast<const VertexId*>(base + h.sec[4].off)
               : nullptr,
           h.m};
+      StorageRef tcache =
+          GraphStorage::mapped(map, path, t_offsets, t_targets, {});
       if (deep) {
         Status s = validate_csr(t_offsets, t_targets);
         if (!s.ok()) {
           fail(s.category(), path, "transpose sections: " + s.message());
         }
+        tcache->mark_validated();
       }
-      out.storage->set_transpose_cache(
-          GraphStorage::mapped(map, path, t_offsets, t_targets, {}));
+      out.storage->set_transpose_cache(std::move(tcache));
     }
   } else {
     StorageRef s = GraphStorage::allocate(h.n, h.m, h.weighted(), path);
@@ -618,13 +937,19 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
       if (!ts.ok()) {
         fail(ts.category(), path, "transpose sections: " + ts.message());
       }
+      t->mark_validated();
       s->set_transpose_cache(std::move(t));
     }
     out.storage = std::move(s);
   }
-  if (deep) {
+  if (h.compressed()) {
+    // The decoder verified the whole validate_csr contract (offsets shape +
+    // target bounds); no second pass needed.
+    out.storage->mark_validated();
+  } else if (deep) {
     Status s = validate_csr(out.storage->offsets(), out.storage->targets());
     if (!s.ok()) fail(s.category(), path, s.message());
+    out.storage->mark_validated();
   }
   return out;
 }
@@ -638,10 +963,13 @@ OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
   if (mode == PgrOpen::kCopy) return open_pgr_fresh(path, mode, validate);
 
   bool opened_fresh = false;
+  PgrOpenStats fresh_stats;
   StorageRef storage =
       GraphRegistry::instance().open_shared(path, [&]() -> StorageRef {
         opened_fresh = true;
-        return open_pgr_fresh(path, PgrOpen::kMmap, validate).storage;
+        OpenedPgr fresh = open_pgr_fresh(path, PgrOpen::kMmap, validate);
+        fresh_stats = fresh.stats;
+        return fresh.storage;
       });
 
   // Cached or fresh, PgrInfo comes from the shared mapping's header — a
@@ -652,6 +980,11 @@ OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
   OpenedPgr out;
   out.info = info_of(h, map->size());
   out.storage = std::move(storage);
+  out.stats.compressed = h.compressed();
+  out.stats.encoded_target_bytes = h.sec[1].bytes;
+  // Warm opens reuse the decoded buffer memoized on the shared handle:
+  // decode cost is paid once per mapping, never per open.
+  out.stats.decode_wall_ns = opened_fresh ? fresh_stats.decode_wall_ns : 0;
   if (!opened_fresh && validate) {
     // The cached mapping may have been opened without --validate; a
     // validating open still gets the full content check, against the
@@ -659,11 +992,13 @@ OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
     check_pgr_checksums(h, base, path);
     Status s = validate_csr(out.storage->offsets(), out.storage->targets());
     if (!s.ok()) fail(s.category(), path, s.message());
+    out.storage->mark_validated();
     if (StorageRef t = out.storage->transpose_cache()) {
       Status ts = validate_csr(t->offsets(), t->targets());
       if (!ts.ok()) {
         fail(ts.category(), path, "transpose sections: " + ts.message());
       }
+      t->mark_validated();
     }
   }
   return out;
@@ -681,17 +1016,22 @@ void write_pgr(const WeightedGraph<std::uint32_t>& g, const std::string& path,
   write_pgr_impl(g.unweighted(), /*weighted=*/true, g.weights(), path, opts);
 }
 
-Graph read_pgr(const std::string& path, PgrOpen mode, bool validate) {
-  return Graph(open_pgr(path, mode, validate).storage);
+Graph read_pgr(const std::string& path, PgrOpen mode, bool validate,
+               PgrOpenStats* stats) {
+  OpenedPgr opened = open_pgr(path, mode, validate);
+  if (stats != nullptr) *stats = opened.stats;
+  return Graph(std::move(opened.storage));
 }
 
 WeightedGraph<std::uint32_t> read_weighted_pgr(const std::string& path,
-                                               PgrOpen mode, bool validate) {
+                                               PgrOpen mode, bool validate,
+                                               PgrOpenStats* stats) {
   OpenedPgr opened = open_pgr(path, mode, validate);
   if (!opened.info.weighted) {
     fail(ErrorCategory::kFormat, path,
          "file has no weights section; use read_pgr / an unweighted driver");
   }
+  if (stats != nullptr) *stats = opened.stats;
   return WeightedGraph<std::uint32_t>(std::move(opened.storage));
 }
 

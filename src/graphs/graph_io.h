@@ -56,7 +56,13 @@ WeightedGraph<std::uint32_t> read_weighted_bin(const std::string& path);
 
 // --- .pgr: versioned mmap-able CSR ------------------------------------------
 
+// Version 1: every section is the raw CSR array (zero-copy mmap).
+// Version 2: identical except the targets section may be delta-varint
+// compressed (GBBS-style byte codes; see DESIGN.md §5f). The writer emits
+// version 1 whenever compression is off, so uncompressed outputs stay
+// byte-identical across versions; the reader accepts both.
 inline constexpr std::uint32_t kPgrVersion = 1;
+inline constexpr std::uint32_t kPgrVersionCompressed = 2;
 
 // How read_pgr materializes the CSR arrays.
 //  * kMmap — map the file read-only and hand out spans into it: O(1) open,
@@ -74,16 +80,36 @@ struct PgrWriteOptions {
   // Caller-asserted symmetry (recorded in the header flags; not verified —
   // is_symmetric() is a full transpose + compare).
   bool symmetric = false;
+  // Delta-varint compress the targets section (bumps the file to version 2).
+  // Offsets, weights, and any embedded transpose sections stay raw so they
+  // remain zero-copy on open; reading a compressed file decodes targets in
+  // parallel into heap storage.
+  bool compress_targets = false;
 };
 
 // Header summary of a .pgr file without loading its sections.
 struct PgrInfo {
   std::uint64_t n = 0;
   std::uint64_t m = 0;
+  std::uint32_t version = 0;
   bool weighted = false;
   bool symmetric = false;
   bool has_transpose = false;
+  bool compressed = false;
   std::uint64_t file_bytes = 0;
+  // On-disk bytes of the targets section: m * sizeof(VertexId) when raw,
+  // the encoded stream size when compressed.
+  std::uint64_t encoded_target_bytes = 0;
+};
+
+// Per-open cost accounting, filled by read_pgr / read_weighted_pgr when the
+// caller passes a non-null pointer. `decode_wall_ns` is 0 for uncompressed
+// files and for registry warm opens of a compressed file (the decoded
+// buffer is memoized on the shared storage handle).
+struct PgrOpenStats {
+  bool compressed = false;
+  std::uint64_t encoded_target_bytes = 0;
+  std::uint64_t decode_wall_ns = 0;
 };
 
 void write_pgr(const Graph& g, const std::string& path,
@@ -96,11 +122,11 @@ void write_pgr(const WeightedGraph<std::uint32_t>& g, const std::string& path,
 // kMmap — the O(1) promise). A file with embedded transpose sections comes
 // back with the transpose cache pre-populated, sharing the same mapping.
 Graph read_pgr(const std::string& path, PgrOpen mode = PgrOpen::kMmap,
-               bool validate = false);
+               bool validate = false, PgrOpenStats* stats = nullptr);
 // Requires the weighted flag; weights map zero-copy alongside the topology.
 WeightedGraph<std::uint32_t> read_weighted_pgr(
     const std::string& path, PgrOpen mode = PgrOpen::kMmap,
-    bool validate = false);
+    bool validate = false, PgrOpenStats* stats = nullptr);
 
 // Header-only peek: parses and structurally checks the header (magic,
 // version, flags, layout vs file size) without touching section bytes.

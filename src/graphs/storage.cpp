@@ -109,6 +109,10 @@ StorageRef GraphStorage::owned(std::vector<StorageEdgeId> offsets,
   s->offsets_ = s->own_offsets_;
   s->targets_ = s->own_targets_;
   s->weights_ = s->own_weights_;
+  // In-process builders (generators, transposes, symmetrizers) produce
+  // in-range CSRs by construction; only untrusted file-backed storages
+  // start unvalidated.
+  s->validated_.store(true, std::memory_order_relaxed);
   return s;
 }
 
@@ -148,6 +152,22 @@ StorageRef GraphStorage::mapped(std::shared_ptr<const MappedFile> file,
   s->map_ = std::move(file);
   s->offsets_ = offsets;
   s->targets_ = targets;
+  s->weights_ = weights;
+  s->source_path_ = path;
+  return s;
+}
+
+StorageRef GraphStorage::mapped_with_decoded_targets(
+    std::shared_ptr<const MappedFile> file, const std::string& path,
+    std::span<const StorageEdgeId> offsets,
+    std::vector<StorageVertexId> decoded_targets,
+    std::span<const StorageWeight> weights) {
+  auto s = StorageRef(new GraphStorage());
+  s->backend_ = Backend::kMmap;
+  s->map_ = std::move(file);
+  s->own_targets_ = std::move(decoded_targets);
+  s->offsets_ = offsets;
+  s->targets_ = s->own_targets_;
   s->weights_ = weights;
   s->source_path_ = path;
   return s;

@@ -23,6 +23,7 @@
 // readers previously duplicated.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -119,6 +120,18 @@ class GraphStorage {
                            std::span<const StorageVertexId> targets,
                            std::span<const StorageWeight> weights);
 
+  // Hybrid backend for compressed `.pgr` files: offsets (and weights, when
+  // present) stay zero-copy spans into the mapping while `targets` is the
+  // heap buffer the varint decoder produced. The handle owns both, so a
+  // registry-shared open reuses the decoded buffer — warm opens pay zero
+  // decode cost. Callers must have routed the decode allocation through
+  // check_footprint (the decoder does).
+  static StorageRef mapped_with_decoded_targets(
+      std::shared_ptr<const MappedFile> file, const std::string& path,
+      std::span<const StorageEdgeId> offsets,
+      std::vector<StorageVertexId> decoded_targets,
+      std::span<const StorageWeight> weights);
+
   std::span<const StorageEdgeId> offsets() const { return offsets_; }
   std::span<const StorageVertexId> targets() const { return targets_; }
   std::span<const StorageWeight> weights() const { return weights_; }
@@ -142,6 +155,19 @@ class GraphStorage {
   // can rebuild PgrInfo / run deep validation without touching the file.
   std::shared_ptr<const MappedFile> mapped_file() const { return map_; }
 
+  // --- deferred deep-validation flag -----------------------------------------
+  // Whether the CSR behind this handle has been range-checked (targets < n,
+  // offsets monotone). Heap storages built in-process are trusted; O(1) mmap
+  // opens that skipped deep validation are not, and `Graph::ensure_validated`
+  // checks them lazily at first algorithm use so a well-formed-header `.pgr`
+  // with out-of-range targets cannot drive frontier indexing out of bounds.
+  bool validated() const {
+    return validated_.load(std::memory_order_acquire);
+  }
+  void mark_validated() const {
+    validated_.store(true, std::memory_order_release);
+  }
+
   // --- transpose memoization -------------------------------------------------
   // The cached transpose of the graph this storage backs, or null. The cache
   // is keyed by identity: two Graph copies sharing this handle share it.
@@ -162,6 +188,7 @@ class GraphStorage {
   std::span<const StorageVertexId> targets_;
   std::span<const StorageWeight> weights_;
   std::string source_path_;
+  mutable std::atomic<bool> validated_{false};
 
   mutable std::mutex transpose_mu_;
   StorageRef transpose_;

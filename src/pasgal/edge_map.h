@@ -35,6 +35,11 @@ template <typename Update, typename UpdateSeq, typename Cond>
 VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
                       Update update, UpdateSeq update_seq, Cond cond,
                       const EdgeMapOptions& opt = {}, RunStats* stats = nullptr) {
+  // Unchecked indexing below (neighbors(), in_frontier[u]) requires in-range
+  // targets; un-deep-validated mmap storages are checked once here (a
+  // single atomic load afterwards).
+  g.ensure_validated();
+  gt.ensure_validated();
   std::size_t n = g.num_vertices();
   EdgeId frontier_work = frontier.out_degree_sum(g) + frontier.size();
   bool go_dense = opt.allow_dense &&
@@ -48,22 +53,28 @@ VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
     frontier.to_dense();
     const auto& in_frontier = frontier.dense_mask();
     std::vector<std::uint8_t> next(n, 0);
-    parallel_for(0, n, [&](std::size_t vi) {
-      VertexId v = static_cast<VertexId>(vi);
-      if (!cond(v)) return;
-      std::uint64_t scanned = 0;
-      for (VertexId u : gt.neighbors(v)) {
-        ++scanned;
-        if (in_frontier[u] && update_seq(u, v)) {
-          next[vi] = 1;
-          break;  // activated; stop scanning in-edges
-        }
-        if (!cond(v)) break;
-      }
-      if (stats) stats->add_edges(scanned);
-    });
+    // Activations are counted as they happen, so the resulting subset's
+    // cardinality is known without VertexSubset::dense's O(n) recount.
+    std::size_t activated = reduce_indexed<std::size_t>(
+        n, 0, std::plus<std::size_t>{}, [&](std::size_t vi) -> std::size_t {
+          VertexId v = static_cast<VertexId>(vi);
+          if (!cond(v)) return 0;
+          std::uint64_t scanned = 0;
+          std::size_t hit = 0;
+          for (VertexId u : gt.neighbors(v)) {
+            ++scanned;
+            if (in_frontier[u] && update_seq(u, v)) {
+              next[vi] = 1;
+              hit = 1;
+              break;  // activated; stop scanning in-edges
+            }
+            if (!cond(v)) break;
+          }
+          if (stats) stats->add_edges(scanned);
+          return hit;
+        });
     if (stats) stats->add_visits(n);
-    return VertexSubset::dense(std::move(next));
+    return VertexSubset::dense(std::move(next), activated);
   }
 
   frontier.to_sparse();

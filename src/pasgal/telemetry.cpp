@@ -509,6 +509,12 @@ void MetricsDoc::set_param(const std::string& name, std::uint64_t value) {
   params_.emplace_back(name, std::move(encoded));
 }
 
+void MetricsDoc::set_param(const std::string& name, double value) {
+  std::string encoded;
+  append_double(encoded, value);
+  params_.emplace_back(name, std::move(encoded));
+}
+
 void MetricsDoc::set_param(const std::string& name, const std::string& value) {
   params_.emplace_back(name, "\"" + json::escape(value) + "\"");
 }
@@ -729,12 +735,27 @@ Status validate_metrics(const json::Value& doc) {
   for (const char* key :
        {"registry_hits", "registry_misses", "registry_bytes_mapped",
         "warm_load_bytes_mapped", "serve_opens", "peak_rss_cold_bytes",
-        "load_bytes_mapped", "load_wall_ns", "peak_rss_bytes"}) {
+        "load_bytes_mapped", "load_wall_ns", "peak_rss_bytes",
+        "encoded_bytes", "compression_ratio", "decode_wall_ns"}) {
     if (const json::Value* v = params->find(key)) {
       if (!v->is_number() || v->number < 0) {
         return schema_fail("params." + std::string(key) +
                            " must be a non-negative number");
       }
+    }
+  }
+  // Compression accounting travels as a trio: a compressed .pgr load emits
+  // all three (encoded section size, raw/encoded ratio, decode wall time —
+  // 0 on registry warm opens), an uncompressed load emits none.
+  {
+    const json::Value* enc = params->find("encoded_bytes");
+    const json::Value* ratio = params->find("compression_ratio");
+    const json::Value* dec = params->find("decode_wall_ns");
+    if ((enc == nullptr) != (ratio == nullptr) ||
+        (enc == nullptr) != (dec == nullptr)) {
+      return schema_fail(
+          "params.encoded_bytes / compression_ratio / decode_wall_ns travel "
+          "together");
     }
   }
   const json::Value* reg_hits = params->find("registry_hits");

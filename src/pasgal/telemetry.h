@@ -254,6 +254,7 @@ class MetricsDoc {
 
   // Params are recorded as JSON values: numbers stay numbers.
   void set_param(const std::string& name, std::uint64_t value);
+  void set_param(const std::string& name, double value);
   void set_param(const std::string& name, const std::string& value);
 
   void add_trial(double seconds, const RunTelemetry& telemetry);

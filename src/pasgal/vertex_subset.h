@@ -51,6 +51,21 @@ class VertexSubset {
     return s;
   }
 
+  // Trusted-count overload for producers that already know how many mask
+  // slots they set (edge_map's dense phase counts activations as it writes
+  // them) — skips the O(n) parallel recount above. `count` must equal the
+  // number of nonzero mask bytes; size(), to_sparse(), and the direction
+  // heuristic all consume it.
+  static VertexSubset dense(std::vector<std::uint8_t> mask,
+                            std::size_t count) {
+    VertexSubset s;
+    s.n_ = mask.size();
+    s.dense_ = std::move(mask);
+    s.is_dense_ = true;
+    s.dense_count_ = count;
+    return s;
+  }
+
   static VertexSubset single(std::size_t n, VertexId v) {
     return sparse(n, {v});
   }
@@ -68,6 +83,10 @@ class VertexSubset {
   const std::vector<std::uint8_t>& dense_mask() const { return dense_; }
 
   bool contains(VertexId v) const {
+    // Out-of-universe ids are simply absent. Without the bound, a graph
+    // whose targets escaped validation (or a caller-supplied stray id, e.g.
+    // kInvalidVertex) would index past the mask.
+    if (v >= n_) return false;
     if (is_dense_) return dense_[v] != 0;
     return std::binary_search(sparse_.begin(), sparse_.end(), v);
   }

@@ -108,6 +108,34 @@ TEST_P(EdgeMapTest, AutoSwitchesToDenseOnHugeFrontier) {
   EXPECT_EQ(next.size(), 0u);
 }
 
+TEST_P(EdgeMapTest, DenseRoundSizeAgreesWithSparseList) {
+  // The dense path reports the next frontier's cardinality from a trusted
+  // running count instead of an O(n) recount; it must agree exactly with
+  // the materialized sparse list.
+  Graph g = gen::rmat(10, 12000, 6);
+  Graph gt = g.transpose();
+  std::vector<std::atomic<std::uint8_t>> visited(g.num_vertices());
+  for (auto& x : visited) x.store(0, std::memory_order_relaxed);
+  auto update = [&](VertexId, VertexId v) {
+    std::uint8_t expected_flag = 0;
+    return visited[v].compare_exchange_strong(expected_flag, 1,
+                                              std::memory_order_relaxed);
+  };
+  auto cond = [&](VertexId v) {
+    return visited[v].load(std::memory_order_relaxed) == 0;
+  };
+  auto seed = iota<VertexId>(g.num_vertices() / 4);
+  for (VertexId u : seed) visited[u].store(1, std::memory_order_relaxed);
+  VertexSubset frontier = VertexSubset::sparse(g.num_vertices(), seed);
+  EdgeMapOptions opt;
+  opt.dense_threshold_den = 1'000'000'000;  // force the dense path
+  VertexSubset next = edge_map(g, gt, frontier, update, update, cond, opt);
+  ASSERT_TRUE(next.is_dense());
+  std::size_t counted = next.size();
+  next.to_sparse();
+  EXPECT_EQ(counted, next.sparse_vertices().size());
+}
+
 TEST_P(EdgeMapTest, StatsCountEdges) {
   Graph g = gen::rectangle_grid(10, 10);
   RunStats stats;

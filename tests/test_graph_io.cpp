@@ -8,6 +8,7 @@
 #include "graphs/graph.h"
 #include "graphs/graph_io.h"
 #include "parlay/hash_rng.h"
+#include "parlay/scheduler.h"
 
 namespace pasgal {
 namespace {
@@ -231,6 +232,140 @@ TEST_F(GraphIoTest, PgrUnweightedFileRejectedByWeightedReader) {
 TEST_F(GraphIoTest, PgrMissingFile) {
   EXPECT_THROW(read_pgr(temp_path("does_not_exist.pgr")), Error);
   EXPECT_THROW(probe_pgr(temp_path("does_not_exist.pgr")), Error);
+}
+
+// --- .pgr version 2 (compressed targets) -------------------------------------
+
+TEST_F(GraphIoTest, PgrCompressedRoundTrip) {
+  Graph g = random_graph(300, 2500, 5);
+  auto path = temp_path("c.pgr");
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  write_pgr(g, path, opts);
+  PgrOpenStats stats;
+  EXPECT_EQ(read_pgr(path, PgrOpen::kMmap, /*validate=*/false, &stats), g);
+  EXPECT_TRUE(stats.compressed);
+  EXPECT_GT(stats.encoded_target_bytes, 0u);
+  EXPECT_LT(stats.encoded_target_bytes, g.num_edges() * sizeof(VertexId));
+  EXPECT_GT(stats.decode_wall_ns, 0u);
+  EXPECT_EQ(read_pgr(path, PgrOpen::kCopy), g);
+  EXPECT_EQ(read_pgr(path, PgrOpen::kMmap, /*validate=*/true), g);
+}
+
+TEST_F(GraphIoTest, PgrCompressedWeightedWithTranspose) {
+  std::vector<WeightedEdge<std::uint32_t>> edges;
+  Random rng(12);
+  for (std::size_t i = 0; i < 1100; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.ith_rand(3 * i) % 70),
+                     static_cast<VertexId>(rng.ith_rand(3 * i + 1) % 70),
+                     static_cast<std::uint32_t>(rng.ith_rand(3 * i + 2))});
+  }
+  auto g = WeightedGraph<std::uint32_t>::from_edges(70, edges);
+  auto path = temp_path("cwt.pgr");
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  opts.include_transpose = true;
+  write_pgr(g, path, opts);
+  for (auto mode : {PgrOpen::kMmap, PgrOpen::kCopy}) {
+    auto back = read_weighted_pgr(path, mode);
+    EXPECT_EQ(back.unweighted(), g.unweighted());
+    // Weights and the embedded transpose stay raw sections alongside the
+    // compressed targets.
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      ASSERT_EQ(back.edge_weight(e), g.edge_weight(e));
+    }
+    EXPECT_EQ(back.unweighted().transpose(), g.unweighted().transpose());
+  }
+}
+
+TEST_F(GraphIoTest, PgrCompressedEmptyAndIsolatedVertices) {
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2000}}) {
+    Graph g = Graph::from_edges(n, {});
+    auto path = temp_path("ctiny" + std::to_string(n) + ".pgr");
+    write_pgr(g, path, opts);
+    EXPECT_EQ(read_pgr(path), g);
+  }
+  Graph iso = Graph::from_edges(10, std::vector<Edge>{{3, 7}});
+  auto path = temp_path("ciso.pgr");
+  write_pgr(iso, path, opts);
+  EXPECT_EQ(read_pgr(path), iso);
+}
+
+TEST_F(GraphIoTest, PgrCompressedSpansMultipleChunks) {
+  // More than 1024 vertices so the encoded section has several chunks, each
+  // decoded by a separate task.
+  Graph g = random_graph(5000, 40000, 13);
+  auto path = temp_path("cchunks.pgr");
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  write_pgr(g, path, opts);
+  EXPECT_EQ(read_pgr(path), g);
+  EXPECT_EQ(read_pgr(path, PgrOpen::kCopy), g);
+}
+
+TEST_F(GraphIoTest, PgrCompressedProbeReportsEncoding) {
+  Graph g = random_graph(400, 3000, 14);
+  auto raw_path = temp_path("raw.pgr");
+  auto comp_path = temp_path("comp.pgr");
+  write_pgr(g, raw_path);
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  write_pgr(g, comp_path, opts);
+
+  PgrInfo raw = probe_pgr(raw_path);
+  EXPECT_EQ(raw.version, kPgrVersion);
+  EXPECT_FALSE(raw.compressed);
+  EXPECT_EQ(raw.encoded_target_bytes, g.num_edges() * sizeof(VertexId));
+
+  PgrInfo comp = probe_pgr(comp_path);
+  EXPECT_EQ(comp.version, kPgrVersionCompressed);
+  EXPECT_TRUE(comp.compressed);
+  EXPECT_EQ(comp.n, raw.n);
+  EXPECT_EQ(comp.m, raw.m);
+  EXPECT_LT(comp.encoded_target_bytes, raw.encoded_target_bytes);
+  EXPECT_LT(comp.file_bytes, raw.file_bytes);
+  EXPECT_EQ(comp.file_bytes, std::filesystem::file_size(comp_path));
+}
+
+TEST_F(GraphIoTest, PgrUncompressedWriteStaysVersion1) {
+  // check.sh byte-compares uncompressed round-trips against pre-existing v1
+  // files, so the default write path must keep emitting version 1 exactly.
+  Graph g = random_graph(100, 800, 15);
+  auto path = temp_path("v1.pgr");
+  write_pgr(g, path);
+  std::ifstream in(path, std::ios::binary);
+  char magic[8];
+  std::uint32_t version = 0;
+  in.read(magic, 8);
+  in.read(reinterpret_cast<char*>(&version), 4);
+  EXPECT_EQ(version, kPgrVersion);
+  PgrOpenStats stats;
+  read_pgr(path, PgrOpen::kMmap, false, &stats);
+  EXPECT_FALSE(stats.compressed);
+  EXPECT_EQ(stats.decode_wall_ns, 0u);
+}
+
+TEST_F(GraphIoTest, PgrCompressedDeterministicAcrossWorkerCounts) {
+  // Chunk encoding is per-chunk-deterministic; the assembled file must not
+  // depend on how many workers happened to run the encoding tabulate.
+  Graph g = random_graph(3000, 20000, 16);
+  auto p1 = temp_path("det1.pgr");
+  auto p4 = temp_path("det4.pgr");
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  Scheduler::reset(1);
+  write_pgr(g, p1, opts);
+  Scheduler::reset(4);
+  write_pgr(g, p4, opts);
+  Scheduler::reset(1);
+  std::ifstream a(p1, std::ios::binary), b(p4, std::ios::binary);
+  std::vector<char> ba{std::istreambuf_iterator<char>(a),
+                       std::istreambuf_iterator<char>()};
+  std::vector<char> bb{std::istreambuf_iterator<char>(b),
+                       std::istreambuf_iterator<char>()};
+  EXPECT_EQ(ba, bb);
 }
 
 }  // namespace

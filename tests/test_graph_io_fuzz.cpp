@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "algorithms/bfs/bfs.h"
 #include "graphs/graph.h"
 #include "graphs/graph_io.h"
 #include "graphs/storage.h"
@@ -67,6 +68,37 @@ class GraphIoFuzzTest : public ::testing::Test {
     opts.include_transpose = true;
     write_pgr(g, path, opts);
     return path;
+  }
+
+  // A minimal version-2 file: one edge 0->1 in a 4-vertex graph. The encoded
+  // targets section is a single chunk whose payload is exactly one varint
+  // byte (zigzag(+1) = 0x02), so byte-level tampering is surgical.
+  std::string make_tiny_compressed_pgr(const std::string& name) {
+    Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}});
+    auto path = temp_path(name);
+    PgrWriteOptions opts;
+    opts.compress_targets = true;
+    write_pgr(g, path, opts);
+    return path;
+  }
+
+  // A version-2 file big enough to span two chunks (n = 2000 > 1024), with
+  // one extra edge so chunk 0's payload is not a multiple of 64 bytes and
+  // real zero padding exists between the chunks.
+  std::string make_chunked_compressed_pgr(const std::string& name) {
+    std::vector<Edge> edges = {{0, 2}};
+    for (VertexId v = 0; v + 1 < 2000; ++v) edges.push_back({v, v + 1});
+    Graph g = Graph::from_edges(2000, edges);
+    auto path = temp_path(name);
+    PgrWriteOptions opts;
+    opts.compress_targets = true;
+    write_pgr(g, path, opts);
+    return path;
+  }
+
+  // File offset of the targets section (section table slot 1).
+  std::size_t targets_off(const std::vector<char>& bytes) {
+    return static_cast<std::size_t>(peek<std::uint64_t>(bytes, 40 + 24));
   }
 
   template <typename T>
@@ -457,6 +489,189 @@ TEST_F(GraphIoFuzzTest, PgrCorruptTransposeSectionRejected) {
                   ErrorCategory::kValidation);
   expect_rejected([&] { read_pgr(path, PgrOpen::kMmap, /*validate=*/true); },
                   ErrorCategory::kValidation);
+}
+
+// --- .pgr version 2 (compressed targets) corpus ------------------------------
+//
+// Compressed-section layout under attack (relative to the targets section):
+// [0,8) chunk count C, [8,16) vertices-per-chunk V, [16,16+(C+1)*8) chunk
+// directory of byte offsets, then 64-byte-aligned varint payloads; the last
+// directory entry equals the exact section size. Every tampering below
+// reseals the section checksum, so the decoder itself — not the checksum
+// layer — must catch it (plain mmap opens skip checksums entirely).
+
+TEST_F(GraphIoFuzzTest, PgrCompressedTruncatedVarintStream) {
+  auto path = make_tiny_compressed_pgr("ctrunc.pgr");
+  auto bytes = slurp(path);
+  std::size_t sec = targets_off(bytes);
+  std::size_t payload = sec + static_cast<std::size_t>(
+                                  peek<std::uint64_t>(bytes, sec + 16));
+  // Continuation bit on the only payload byte: the varint never terminates
+  // before the chunk limit.
+  bytes[payload] = static_cast<char>(bytes[payload] | 0x80);
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+  expect_rejected([&] { read_pgr(path, PgrOpen::kCopy); },
+                  ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedVarintOverflows64Bits) {
+  auto path = make_chunked_compressed_pgr("coverflow.pgr");
+  auto bytes = slurp(path);
+  std::size_t sec = targets_off(bytes);
+  std::size_t payload = sec + static_cast<std::size_t>(
+                                  peek<std::uint64_t>(bytes, sec + 16));
+  // 9 continuation bytes then a wide final byte: 10-byte varint whose last
+  // byte carries bits past position 63.
+  for (int i = 0; i < 9; ++i) bytes[payload + i] = static_cast<char>(0xFF);
+  bytes[payload + 9] = 0x7F;
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedNonZeroInterChunkPadding) {
+  auto path = make_chunked_compressed_pgr("cpad.pgr");
+  auto bytes = slurp(path);
+  std::size_t sec = targets_off(bytes);
+  // Last byte before chunk 1's aligned start is padding by construction
+  // (chunk 0's payload size is odd).
+  std::size_t chunk1 = sec + static_cast<std::size_t>(
+                                 peek<std::uint64_t>(bytes, sec + 16 + 8));
+  ASSERT_EQ(bytes[chunk1 - 1], 0) << "expected zero padding to tamper with";
+  bytes[chunk1 - 1] = 0x01;
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedOutOfRangeDecodedTarget) {
+  auto path = make_tiny_compressed_pgr("coob.pgr");
+  auto bytes = slurp(path);
+  std::size_t sec = targets_off(bytes);
+  std::size_t payload = sec + static_cast<std::size_t>(
+                                  peek<std::uint64_t>(bytes, sec + 16));
+  // zigzag(0x7E) decodes to +63: vertex 0's target becomes 63 >= n = 4. The
+  // decoder must refuse even on the plain mmap path — decoded targets feed
+  // unchecked indexing downstream.
+  bytes[payload] = 0x7E;
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kValidation);
+  expect_rejected([&] { read_pgr(path, PgrOpen::kCopy); },
+                  ErrorCategory::kValidation);
+  // And the negative direction: zigzag(0x7F) decodes to -64.
+  bytes = slurp(path);
+  bytes[payload] = 0x7F;
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedChunkHeaderTampered) {
+  // Chunk count disagreeing with ceil(n / V).
+  auto path = make_tiny_compressed_pgr("cchunks.pgr");
+  auto bytes = slurp(path);
+  std::size_t sec = targets_off(bytes);
+  poke<std::uint64_t>(bytes, sec, peek<std::uint64_t>(bytes, sec) + 1);
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+
+  // Zero vertices-per-chunk.
+  bytes = slurp(path);
+  poke<std::uint64_t>(bytes, sec + 8, 0);
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedDirectoryTampered) {
+  auto path = make_chunked_compressed_pgr("cdir.pgr");
+  auto whole = slurp(path);
+  std::size_t sec = targets_off(whole);
+  // Misaligned first chunk.
+  auto bytes = whole;
+  poke<std::uint64_t>(bytes, sec + 16,
+                      peek<std::uint64_t>(bytes, sec + 16) + 1);
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+
+  // Non-monotone interior entry (chunk 1 start beyond the section end).
+  bytes = whole;
+  poke<std::uint64_t>(bytes, sec + 16 + 8, std::uint64_t{1} << 32);
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+
+  // Last entry no longer equal to the section size.
+  bytes = whole;
+  std::size_t last = sec + 16 + 2 * 8;
+  poke<std::uint64_t>(bytes, last, peek<std::uint64_t>(bytes, last) - 1);
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedSectionSizeClaims) {
+  // The encoded section's size comes from the table rather than the (n, m)
+  // arithmetic, so it is attacker-controlled: oversized claims must be
+  // bounded by the file size, and m > 0 with an empty section must fail.
+  auto path = make_tiny_compressed_pgr("csize.pgr");
+  auto bytes = slurp(path);
+  poke<std::uint64_t>(bytes, 40 + 24 + 8, std::uint64_t{1} << 40);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+
+  bytes = slurp(path);
+  poke<std::uint64_t>(bytes, 40 + 24 + 8, 0);
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+}
+
+TEST_F(GraphIoFuzzTest, PgrCompressedFlagOnVersion1Rejected) {
+  // Bit 3 (compressed) is only defined from version 2 on; a v1 header
+  // carrying it must be treated as unknown flags.
+  auto path = make_valid_pgr("cflag.pgr");
+  auto bytes = slurp(path);
+  poke<std::uint32_t>(bytes, 12, peek<std::uint32_t>(bytes, 12) | (1u << 3));
+  dump(path, bytes);
+  expect_rejected([&] { read_pgr(path); }, ErrorCategory::kFormat);
+}
+
+// --- lazy validation of trusted-by-default mmap opens ------------------------
+
+TEST_F(GraphIoFuzzTest, BfsOnUnvalidatedOutOfRangeTargetsThrowsTyped) {
+  // Plain mmap opens of a v1 file skip per-element checks by design, so a
+  // poisoned target (behind a resealed checksum) gets as far as the
+  // algorithm layer. The frontier machinery must then catch it via the
+  // lazy ensure_validated() choke point — a typed kValidation error, never
+  // out-of-bounds indexing.
+  auto path = make_valid_pgr("lazyoob.pgr");
+  auto bytes = slurp(path);
+  std::size_t off = targets_off(bytes);
+  poke<std::uint32_t>(bytes, off, 1000u);  // target 1000 in a 4-vertex graph
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  Graph g = read_pgr(path);  // mmap open itself stays O(1) and succeeds
+  ASSERT_NE(g.storage(), nullptr);
+  EXPECT_FALSE(g.storage()->validated());
+  Graph gt = g.transpose();  // embedded sections: no rebuild, no crash
+  expect_rejected([&] { gbbs_bfs(g, gt, 0); }, ErrorCategory::kValidation);
+  expect_rejected([&] { gapbs_bfs(g, gt, 0); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, EnsureValidatedAcceptsAndMemoizesCleanGraphs) {
+  auto path = make_valid_pgr("lazyok.pgr");
+  Graph g = read_pgr(path);
+  ASSERT_NE(g.storage(), nullptr);
+  EXPECT_FALSE(g.storage()->validated());
+  g.ensure_validated();
+  EXPECT_TRUE(g.storage()->validated());
+  Graph gt = g.transpose();
+  EXPECT_EQ(gbbs_bfs(g, gt, 0), seq_bfs(g, 0));
 }
 
 }  // namespace

@@ -128,6 +128,40 @@ TEST_P(HashBagTest, InterleavedInsertSizeCalls) {
   }
 }
 
+TEST_P(HashBagTest, PhasedConcurrentInsertExtractStress) {
+  // Frontier lifecycle under contention: many rounds of concurrent inserts
+  // (with heavy duplication, like several neighbors relaxing the same
+  // vertex) followed by extract_all. Every round's extraction must return
+  // exactly the inserted multiset — nothing lost, nothing duplicated,
+  // nothing leaking across rounds.
+  HashBag<std::uint64_t> bag(/*first_block_log2=*/4);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 1000 + static_cast<std::size_t>(round) * 4000;
+    std::vector<std::uint64_t> inserted(n);
+    parallel_for(0, n, [&](std::size_t i) {
+      // Mix unique values with duplicates; tag by round so stale elements
+      // from a previous phase would be caught immediately.
+      std::uint64_t v = (static_cast<std::uint64_t>(round) << 32) | (i % 997);
+      inserted[i] = v;
+      bag.insert(v);
+    });
+    auto out = bag.extract_all();
+    std::sort(out.begin(), out.end());
+    std::sort(inserted.begin(), inserted.end());
+    ASSERT_EQ(out, inserted) << "round " << round;
+    EXPECT_TRUE(bag.empty());
+  }
+  // clear() in place of extract_all must also reset the bag completely.
+  parallel_for(0, 5000, [&](std::size_t i) {
+    bag.insert(static_cast<std::uint64_t>(i));
+  });
+  bag.clear();
+  EXPECT_TRUE(bag.empty());
+  bag.insert(123);
+  auto out = bag.extract_all();
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{123}));
+}
+
 TEST_P(HashBagTest, SaturationThrowsInsteadOfSpinning) {
   // Regression: with every block full, insert used to spin forever probing
   // the last block. A tiny bag (one block of 4 slots) must fill completely

@@ -2,6 +2,8 @@
 // Bellman-Ford must match Dijkstra exactly on weighted graph families.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "algorithms/sssp/sssp.h"
 #include "graphs/generators.h"
 
@@ -88,6 +90,19 @@ TEST_P(SsspTest, RhoSweep) {
     SteppingParams p;
     p.rho = rho;
     EXPECT_EQ(stepping_sssp(g, 1, p), expected) << "rho=" << rho;
+  }
+}
+
+TEST_P(SsspTest, DeltaNearSaturationTerminates) {
+  // Regression: delta is a 64-bit Dist, so base + delta used to wrap and
+  // produce a threshold *below* base — no entry ever settled and the step
+  // loop re-inserted the same bucket forever. A saturating threshold must
+  // settle everything instead, degenerating into one big step.
+  auto g = gen::add_weights(gen::rectangle_grid(20, 25), 100, 18);
+  auto expected = dijkstra(g, 0);
+  for (Dist delta : {kInfWeightDist, std::numeric_limits<Dist>::max(),
+                     std::numeric_limits<Dist>::max() - 1}) {
+    EXPECT_EQ(delta_stepping(g, 0, delta), expected) << "delta=" << delta;
   }
 }
 

@@ -129,6 +129,64 @@ TEST_F(StorageTest, GraphCopiesShareStorage) {
   EXPECT_EQ(copy.targets().data(), g.targets().data());
 }
 
+// --- hybrid backend (mmap file + decoded heap targets) -----------------------
+
+TEST_F(StorageTest, CompressedOpenUsesHybridBackend) {
+  Graph g = gen::rmat(10, 8000, 41);
+  auto path = temp_path("hybrid.pgr");
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  write_pgr(g, path, opts);
+  Graph mapped = read_pgr(path, PgrOpen::kMmap);
+  ASSERT_NE(mapped.storage(), nullptr);
+  // Offsets stay zero-copy views into the mapping; decoded targets live on
+  // the heap, outside the mapped byte range.
+  EXPECT_EQ(mapped.storage()->backend(), GraphStorage::Backend::kMmap);
+  EXPECT_EQ(mapped.storage()->bytes_mapped(),
+            std::filesystem::file_size(path));
+  const char* map_begin = static_cast<const char*>(
+      static_cast<const void*>(mapped.offsets().data()));
+  const char* tgt = static_cast<const char*>(
+      static_cast<const void*>(mapped.targets().data()));
+  std::uint64_t span = mapped.storage()->bytes_mapped();
+  bool inside = tgt >= map_begin - 192 && tgt < map_begin + span;
+  EXPECT_FALSE(inside) << "decoded targets should not alias the mapping";
+  EXPECT_EQ(mapped, g);
+}
+
+TEST_F(StorageTest, CompressedOpenIsPreValidated) {
+  // A successful decode proves the full CSR contract, so algorithms must
+  // not pay a second validation pass.
+  Graph g = gen::rmat(9, 4000, 43);
+  auto path = temp_path("preval.pgr");
+  PgrWriteOptions opts;
+  opts.compress_targets = true;
+  write_pgr(g, path, opts);
+  Graph mapped = read_pgr(path, PgrOpen::kMmap);
+  ASSERT_NE(mapped.storage(), nullptr);
+  EXPECT_TRUE(mapped.storage()->validated());
+}
+
+TEST_F(StorageTest, ValidatedFlagPerBackend) {
+  // In-process builders are trusted; raw mmap opens are not until a deep
+  // pass (or ensure_validated) runs.
+  Graph built = gen::rmat(8, 1000, 45);
+  ASSERT_NE(built.storage(), nullptr);
+  EXPECT_TRUE(built.storage()->validated());
+
+  auto path = temp_path("flag.pgr");
+  write_pgr(built, path);
+  Graph lazy = read_pgr(path, PgrOpen::kMmap);
+  EXPECT_FALSE(lazy.storage()->validated());
+  Graph deep = read_pgr(path, PgrOpen::kMmap, /*validate=*/true);
+  EXPECT_TRUE(deep.storage()->validated());
+  Graph copied = read_pgr(path, PgrOpen::kCopy);
+  EXPECT_TRUE(copied.storage()->validated());
+
+  lazy.ensure_validated();
+  EXPECT_TRUE(lazy.storage()->validated());
+}
+
 // --- transpose memoization ---------------------------------------------------
 
 TEST_F(StorageTest, TransposeIsMemoizedPerStorage) {

@@ -136,6 +136,30 @@ TEST(VertexSubset, OutDegreeSumCountsDuplicatesOnce) {
       << "the density signal must agree across representations";
 }
 
+TEST(VertexSubset, ContainsOutOfUniverseIsFalse) {
+  // Stray ids (unvalidated graph targets, kInvalidVertex sentinels) must
+  // read as absent rather than indexing past the mask / list.
+  auto dense = VertexSubset::sparse(20, {3, 7});
+  dense.to_dense();
+  auto sparse = VertexSubset::sparse(20, {3, 7});
+  for (VertexId v : {VertexId{20}, VertexId{1000}, kInvalidVertex}) {
+    EXPECT_FALSE(dense.contains(v));
+    EXPECT_FALSE(sparse.contains(v));
+  }
+  EXPECT_FALSE(VertexSubset::empty(0).contains(0));
+}
+
+TEST(VertexSubset, DenseTrustedCountSkipsRecount) {
+  std::vector<std::uint8_t> mask(30, 0);
+  mask[1] = mask[8] = mask[29] = 1;
+  auto s = VertexSubset::dense(std::move(mask), 3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(8));
+  s.to_sparse();
+  EXPECT_EQ(s.sparse_vertices(), (std::vector<VertexId>{1, 8, 29}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
 TEST(VertexSubset, LargeSubsetCount) {
   Scheduler::reset(4);
   std::vector<std::uint8_t> mask(100000);
