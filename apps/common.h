@@ -11,6 +11,7 @@
 #pragma once
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <new>
@@ -349,6 +350,26 @@ inline void record_load(MetricsDoc& doc, const LoadedWeightedGraph& loaded) {
 
 // --- serving-mode harness ----------------------------------------------------
 
+namespace internal {
+
+// SIGINT/SIGTERM drain flag for the --serve loops: the handler only sets
+// this; ServeHarness::next() reads it at the next iteration boundary, so
+// the driver finishes the open in flight, flushes --json-metrics through
+// its normal epilogue, and exits 0 instead of dying mid-document.
+inline volatile std::sig_atomic_t g_serve_stop = 0;
+inline void serve_stop_handler(int) { g_serve_stop = 1; }
+
+inline void install_serve_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = serve_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // don't tear stdio writes mid-line
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace internal
+
 // `--serve N`: the driver re-opens and re-runs its input N extra times in
 // one process, as a cold-vs-warm harness for the GraphRegistry. The cold
 // open of a mmap'ed .pgr is pinned, so the mapping survives the Graph being
@@ -367,11 +388,20 @@ class ServeHarness {
   ServeHarness(std::string spec, const CommonOptions& common)
       : spec_(std::move(spec)),
         total_opens_(1 + common.serve),
-        base_(GraphRegistry::instance().stats()) {}
+        base_(GraphRegistry::instance().stats()) {
+    if (total_opens_ > 1) internal::install_serve_stop_handlers();
+  }
 
   // Advances to the next open; snapshots the cold iteration's peak RSS at
-  // the cold->warm boundary so record() can expose RSS flatness.
+  // the cold->warm boundary so record() can expose RSS flatness. A pending
+  // SIGINT/SIGTERM ends the loop here — after the cold open at minimum, so
+  // the driver's metrics epilogue always has a document to flush.
   bool next() {
+    if (iteration_ >= 0 && internal::g_serve_stop != 0) {
+      std::printf("serve: stop signal, draining after open %lld/%lld\n",
+                  iteration_ + 1, total_opens_);
+      return false;
+    }
     if (iteration_ + 1 >= total_opens_) return false;
     ++iteration_;
     if (iteration_ == 1) cold_peak_rss_ = peak_rss_bytes();

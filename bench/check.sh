@@ -166,5 +166,178 @@ printf '\176' | dd of="$tmp/oob.pgr" bs=1 seek="$((toff + s0))" \
     conv=notrunc 2> /dev/null
 expect 3 "$prefix-san/apps/bfs" "$tmp/oob.pgr"
 
+echo "--- serve daemon gate (TSan build): concurrency, faults, deadlines, drain ---"
+# The daemon multiplexes client threads over the shared scheduler, so this
+# gate runs it under ThreadSanitizer: any data race aborts the run. Every
+# response must be one of the three legal one-line shapes (ok / metrics
+# JSON / "error [category] ..."), every injected fault must surface as a
+# typed error on exactly one response, and SIGTERM must drain to exit 0.
+cmake -B "$prefix-tsan" -S . -DPASGAL_SANITIZE=thread > /dev/null
+cmake --build "$prefix-tsan" -j --target app_serve > /dev/null
+SERVE="$prefix-tsan/apps/serve"
+sock="$tmp/daemon.sock"
+
+wait_sock() {
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && { echo "FAIL: daemon socket never appeared" >&2; exit 1; }
+    sleep 0.05
+  done
+}
+drain() {  # $1 = daemon pid, $2 = daemon log
+  kill -TERM "$1"
+  wait "$1" || { echo "FAIL: daemon exited nonzero after SIGTERM" >&2; exit 1; }
+  grep -q 'serve: drained' "$2" || {
+    echo "FAIL: daemon log $2 is missing the drain epilogue" >&2; exit 1
+  }
+}
+
+"$prefix/apps/graph_gen" grid:300:300 "$tmp/d_a.pgr" > /dev/null
+"$prefix/apps/graph_gen" grid:299:299 "$tmp/d_b.pgr" > /dev/null
+"$prefix/apps/graph_gen" grid:60:60 "$tmp/d_c.pgr" --compress > /dev/null
+"$prefix/apps/graph_gen" chain:200000 "$tmp/d_long.pgr" > /dev/null
+"$prefix/apps/graph_convert" chain:3000 "$tmp/d_w.pgr" --weights 10 > /dev/null
+
+# 8 concurrent clients hammering one daemon with a bfs/sssp/open/stats mix.
+rm -f "$sock"
+"$SERVE" --socket "$sock" > "$tmp/daemon1.log" 2>&1 &
+dpid=$!
+wait_sock
+i=0
+while [ "$i" -lt 8 ]; do
+  "$SERVE" --socket "$sock" --client \
+      "open graph=$tmp/d_c.pgr" \
+      "bfs graph=$tmp/d_c.pgr source=$i" \
+      "sssp graph=$tmp/d_w.pgr source=$i" \
+      "bfs graph=$tmp/d_c.pgr source=0 algo=gbbs" \
+      "stats" > "$tmp/client$i.out" 2>&1 &
+  eval "cpid$i=\$!"
+  i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 8 ]; do
+  eval "wait \$cpid$i" || {
+    echo "FAIL: concurrent client $i exited nonzero" >&2; exit 1
+  }
+  i=$((i + 1))
+done
+if grep -hv -e '^ok ' -e '^{' -e '^error \[' "$tmp"/client*.out | grep -q .; then
+  echo "FAIL: daemon produced an untyped response line:" >&2
+  grep -hv -e '^ok ' -e '^{' -e '^error \[' "$tmp"/client*.out >&2
+  exit 1
+fi
+
+# Deadline expiry is a typed error and the worker pool survives it: the
+# same query without a deadline must then succeed against the same daemon.
+set +e
+to_resp=$("$SERVE" --socket "$sock" --client \
+    "bfs graph=$tmp/d_long.pgr source=0 deadline_ms=1")
+to_rc=$?
+set -e
+[ "$to_rc" -eq 5 ] || {
+  echo "FAIL: deadline-expired client exited $to_rc, expected 5" >&2; exit 1
+}
+case "$to_resp" in
+  'error [timeout]'*) ;;
+  *) echo "FAIL: deadline response was '$to_resp'" >&2; exit 1 ;;
+esac
+"$SERVE" --socket "$sock" --client "bfs graph=$tmp/d_long.pgr source=0" \
+    > /dev/null
+drain "$dpid" "$tmp/daemon1.log"
+
+# One injected fault per failure category (PASGAL_FAULT fires once, then the
+# daemon keeps serving): mmap -> [io], decode -> [format], alloc -> [resource].
+for site in mmap decode alloc; do
+  case "$site" in
+    mmap)  want_cat=io;       want_rc=3 ;;
+    decode) want_cat=format;  want_rc=3 ;;
+    alloc) want_cat=resource; want_rc=4 ;;
+  esac
+  rm -f "$sock"
+  env "PASGAL_FAULT=$site" "$SERVE" --socket "$sock" \
+      > "$tmp/daemon_$site.log" 2>&1 &
+  dpid=$!
+  wait_sock
+  set +e
+  resp=$("$SERVE" --socket "$sock" --client "open graph=$tmp/d_c.pgr")
+  rc=$?
+  set -e
+  [ "$rc" -eq "$want_rc" ] || {
+    echo "FAIL: $site fault client exited $rc, expected $want_rc" >&2; exit 1
+  }
+  case "$resp" in
+    "error [$want_cat]"*) ;;
+    *) echo "FAIL: $site fault response was '$resp'" >&2; exit 1 ;;
+  esac
+  "$SERVE" --socket "$sock" --client "open graph=$tmp/d_c.pgr" > /dev/null
+  drain "$dpid" "$tmp/daemon_$site.log"
+done
+
+# sock_write simulates a client dying mid-response: that connection drops,
+# the daemon survives, and the drain epilogue counts exactly one drop.
+rm -f "$sock"
+env PASGAL_FAULT=sock_write "$SERVE" --socket "$sock" \
+    > "$tmp/daemon_sock.log" 2>&1 &
+dpid=$!
+wait_sock
+expect 3 "$SERVE" --socket "$sock" --client "stats"
+"$SERVE" --socket "$sock" --client "stats" > /dev/null
+drain "$dpid" "$tmp/daemon_sock.log"
+grep -q '1 dropped' "$tmp/daemon_sock.log" || {
+  echo "FAIL: daemon did not count the injected dead-client drop" >&2; exit 1
+}
+
+# Admission control: with room for ~1.5 graphs the second open must evict
+# the LRU one, and a pinned graph must force a typed [resource] rejection.
+rm -f "$sock"
+"$SERVE" --socket "$sock" --budget-mb 3 > "$tmp/daemon_lru.log" 2>&1 &
+dpid=$!
+wait_sock
+"$SERVE" --socket "$sock" --client \
+    "open graph=$tmp/d_a.pgr" "open graph=$tmp/d_b.pgr" > "$tmp/lru.out"
+if grep -q '^error' "$tmp/lru.out"; then
+  echo "FAIL: over-budget open did not evict the LRU graph:" >&2
+  cat "$tmp/lru.out" >&2
+  exit 1
+fi
+"$SERVE" --socket "$sock" --client "stats" | grep -q 'evictions=1' || {
+  echo "FAIL: daemon stats do not report the LRU eviction" >&2; exit 1
+}
+drain "$dpid" "$tmp/daemon_lru.log"
+
+rm -f "$sock"
+"$SERVE" --socket "$sock" --budget-mb 3 > "$tmp/daemon_pin.log" 2>&1 &
+dpid=$!
+wait_sock
+set +e
+pin_out=$("$SERVE" --socket "$sock" --client \
+    "open graph=$tmp/d_a.pgr pin" "open graph=$tmp/d_b.pgr")
+rc=$?
+set -e
+resp=$(printf '%s\n' "$pin_out" | tail -1)
+[ "$rc" -eq 4 ] || {
+  echo "FAIL: pinned-budget client exited $rc, expected 4" >&2; exit 1
+}
+case "$resp" in
+  'error [resource]'*) ;;
+  *) echo "FAIL: pinned graph was evicted: '$resp'" >&2; exit 1 ;;
+esac
+drain "$dpid" "$tmp/daemon_pin.log"
+
+echo "--- driver --serve drain gate (SIGTERM finishes the open, flushes metrics) ---"
+"$prefix/apps/bfs" "$tmp/serve.pgr" --serve 100000 -r 1 \
+    --json-metrics "$tmp/drain.json" > "$tmp/drain.txt" 2>&1 &
+bpid=$!
+sleep 0.5
+kill -TERM "$bpid"
+wait "$bpid" || {
+  echo "FAIL: --serve driver exited nonzero on SIGTERM" >&2; exit 1
+}
+grep -q 'serve: stop signal, draining' "$tmp/drain.txt" || {
+  echo "FAIL: --serve driver did not announce the drain" >&2; exit 1
+}
+"$prefix/apps/metrics_check" "$tmp/drain.json"
+
 echo
 echo "check.sh: all gates passed"

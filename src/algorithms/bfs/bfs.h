@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/cancel.h"
 #include "pasgal/options.h"
 #include "pasgal/stats.h"
 #include "pasgal/vgc.h"
@@ -29,9 +30,11 @@ std::vector<std::uint32_t> seq_bfs(const Graph& g, VertexId source,
                                    RunStats* stats = nullptr);
 
 // `gt` is the transpose (pass g itself for symmetric graphs); needed for the
-// dense (pull) direction.
+// dense (pull) direction. `cancel`, when non-null, is checked at every
+// level boundary (throws kTimeout on expiry).
 std::vector<std::uint32_t> gbbs_bfs(const Graph& g, const Graph& gt,
-                                    VertexId source, RunStats* stats = nullptr);
+                                    VertexId source, RunStats* stats = nullptr,
+                                    const CancelToken* cancel = nullptr);
 
 struct GapbsParams {
   int alpha = 15;  // switch to bottom-up when frontier edges > remaining/alpha
@@ -52,6 +55,9 @@ struct PasgalBfsParams {
   // Direction-optimization density threshold (frontier work > m/den).
   EdgeId dense_threshold_den = 20;
   bool use_dense = true;
+  // Checked at every round boundary (sparse rounds and dense levels);
+  // throws kTimeout on expiry. Null disables the check.
+  const CancelToken* cancel = nullptr;
 };
 std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
                                       VertexId source,

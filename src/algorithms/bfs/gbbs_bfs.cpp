@@ -9,7 +9,8 @@ namespace pasgal {
 // switching. One global synchronization per level — the O(D) rounds the
 // paper identifies as the large-diameter bottleneck.
 std::vector<std::uint32_t> gbbs_bfs(const Graph& g, const Graph& gt,
-                                    VertexId source, RunStats* stats) {
+                                    VertexId source, RunStats* stats,
+                                    const CancelToken* cancel) {
   std::size_t n = g.num_vertices();
   std::vector<std::atomic<std::uint32_t>> dist(n);
   parallel_for(0, n, [&](std::size_t i) {
@@ -38,8 +39,10 @@ std::vector<std::uint32_t> gbbs_bfs(const Graph& g, const Graph& gt,
     auto cond = [&](VertexId v) {
       return dist[v].load(std::memory_order_relaxed) == kInfDist;
     };
-    frontier = edge_map(g, gt, frontier, update, update_seq, cond,
-                        EdgeMapOptions{}, stats);
+    EdgeMapOptions emopt;
+    emopt.cancel = cancel;
+    frontier = edge_map(g, gt, frontier, update, update_seq, cond, emopt,
+                        stats);
   }
 
   std::vector<std::uint32_t> out(n);

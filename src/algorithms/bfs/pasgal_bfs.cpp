@@ -70,6 +70,7 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
                               dense_limit);
 
   for (;;) {
+    if (params.cancel != nullptr) params.cancel->check("pasgal_bfs round");
     // Lowest non-empty bucket drives the next round.
     int lowest = -1;
     for (int b = 0; b < kNumBuckets; ++b) {
@@ -126,6 +127,9 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
     if (params.use_dense && bags_quiet && ready_work > dense_limit) {
       std::uint32_t level = base;
       for (;;) {
+        if (params.cancel != nullptr) {
+          params.cancel->check("pasgal_bfs dense level");
+        }
         // Frontier by value: every vertex currently at `level`.
         std::vector<std::uint8_t> frontier(n);
         parallel_for(0, n, [&](std::size_t v) {

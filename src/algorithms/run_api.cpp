@@ -29,6 +29,7 @@ PasgalBfsParams bfs_params(const AlgoOptions& opt) {
   p.vgc_engage_factor = opt.vgc_engage_factor;
   p.dense_threshold_den = opt.dense_threshold_den;
   p.use_dense = opt.use_dense;
+  p.cancel = opt.cancel;
   return p;
 }
 
@@ -49,6 +50,7 @@ SteppingParams stepping_params(const AlgoOptions& opt) {
   p.delta = opt.sssp_delta;
   p.rho = opt.sssp_rho;
   p.vgc = opt.vgc;
+  p.cancel = opt.cancel;
   return p;
 }
 
@@ -67,8 +69,9 @@ RunReport<std::vector<std::uint32_t>> gbbs_bfs(const Graph& g, const Graph& gt,
                                                const AlgoOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
-  return run_traced(
-      opt, [&](Tracer* t) { return gbbs_bfs(g, gt, opt.source, t); });
+  return run_traced(opt, [&](Tracer* t) {
+    return gbbs_bfs(g, gt, opt.source, t, opt.cancel);
+  });
 }
 
 RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/cancel.h"
 #include "pasgal/error.h"
 #include "pasgal/options.h"
 #include "pasgal/stats.h"
@@ -53,6 +54,8 @@ struct SteppingParams {
   Dist delta = 32;          // kDelta: bucket width
   std::size_t rho = 8192;   // kRho: entries processed per step
   VgcParams vgc;            // tau = 1 disables VGC
+  // Checked at every step boundary; throws kTimeout on expiry.
+  const CancelToken* cancel = nullptr;
 };
 
 std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,

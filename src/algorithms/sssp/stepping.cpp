@@ -63,6 +63,7 @@ std::vector<Dist> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
   bags[0]->insert(encode(source, 0));
 
   for (;;) {
+    if (params.cancel != nullptr) params.cancel->check("stepping_sssp step");
     int lowest = -1;
     for (int b = 0; b < kNumBuckets; ++b) {
       if (!bags[b]->empty()) {

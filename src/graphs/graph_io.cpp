@@ -13,6 +13,7 @@
 
 #include "graphs/registry.h"
 #include "graphs/storage.h"
+#include "pasgal/fault.h"
 #include "pasgal/resource.h"
 
 namespace pasgal {
@@ -876,6 +877,9 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
   // same single guard point the raw readers go through.
   std::vector<VertexId> decoded;
   if (h.compressed()) {
+    if (fault::should_fail("decode")) {
+      throw Error(ErrorCategory::kFormat, "injected fault: decode", path);
+    }
     auto t0 = std::chrono::steady_clock::now();
     check_offsets_for_decode(offsets, h.n, h.m, path);
     decoded.resize(h.m);

@@ -2,7 +2,22 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
 namespace pasgal {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 GraphRegistry& GraphRegistry::instance() {
   static GraphRegistry registry;
@@ -43,16 +58,33 @@ StorageRef GraphRegistry::open_shared(
     entry = slot;
   }
 
-  std::lock_guard<std::mutex> open_lock(entry->mu);
-  if (StorageRef live = entry->storage.lock()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return live;
+  bool was_miss = false;
+  StorageRef out;
+  {
+    std::lock_guard<std::mutex> open_lock(entry->mu);
+    if (StorageRef live = entry->storage.lock()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      entry->last_use_ns = now_ns();
+      out = std::move(live);
+    } else {
+      StorageRef fresh = opener();  // throws propagate; nothing is cached
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      bytes_mapped_.fetch_add(fresh->bytes_mapped(),
+                              std::memory_order_relaxed);
+      entry->storage = fresh;
+      entry->bytes = fresh->bytes_mapped();
+      entry->path = path;
+      entry->last_use_ns = now_ns();
+      was_miss = true;
+      out = std::move(fresh);
+    }
   }
-  StorageRef fresh = opener();  // throws propagate; nothing is cached
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  bytes_mapped_.fetch_add(fresh->bytes_mapped(), std::memory_order_relaxed);
-  entry->storage = fresh;
-  return fresh;
+  // Miss-path tombstone sweep, after the entry lock is released:
+  // evict_expired() takes the table lock and then every entry lock, so
+  // calling it while still holding this entry's lock would self-deadlock.
+  // The entry just opened is live and survives the sweep.
+  if (was_miss) evict_expired();
+  return out;
 }
 
 bool GraphRegistry::pin(const std::string& path) {
@@ -61,7 +93,21 @@ bool GraphRegistry::pin(const std::string& path) {
   std::lock_guard<std::mutex> lock(entry->mu);
   StorageRef live = entry->storage.lock();
   if (live == nullptr) return false;
-  entry->pinned = std::move(live);
+  entry->strong = std::move(live);
+  entry->pinned = true;
+  entry->last_use_ns = now_ns();
+  return true;
+}
+
+bool GraphRegistry::retain(const std::string& path) {
+  std::shared_ptr<Entry> entry = find_entry(path);
+  if (entry == nullptr) return false;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  StorageRef live = entry->storage.lock();
+  if (live == nullptr) return false;
+  entry->strong = std::move(live);
+  // A pin is a stronger promise than a retain; keep it.
+  entry->last_use_ns = now_ns();
   return true;
 }
 
@@ -69,7 +115,8 @@ bool GraphRegistry::unpin(const std::string& path) {
   std::shared_ptr<Entry> entry = find_entry(path);
   if (entry == nullptr) return false;
   std::lock_guard<std::mutex> lock(entry->mu);
-  entry->pinned = nullptr;
+  entry->strong = nullptr;
+  entry->pinned = false;
   return true;
 }
 
@@ -92,7 +139,7 @@ std::size_t GraphRegistry::evict_expired() {
     bool dead;
     {
       std::lock_guard<std::mutex> entry_lock(e.mu);
-      dead = e.pinned == nullptr && e.storage.expired();
+      dead = e.strong == nullptr && e.storage.expired();
     }
     if (dead) {
       it = table_.erase(it);
@@ -102,6 +149,45 @@ std::size_t GraphRegistry::evict_expired() {
     }
   }
   return removed;
+}
+
+std::uint64_t GraphRegistry::evict_lru(std::uint64_t bytes_needed) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Collect evictable candidates: retained (strong, unpinned) entries.
+  struct Candidate {
+    FileKey key;
+    std::uint64_t last_use_ns;
+    std::uint64_t bytes;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [key, entry] : table_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->strong != nullptr && !entry->pinned) {
+      candidates.push_back({key, entry->last_use_ns, entry->bytes});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_use_ns < b.last_use_ns;
+            });
+
+  std::uint64_t released = 0;
+  for (const Candidate& c : candidates) {
+    if (released >= bytes_needed) break;
+    auto it = table_.find(c.key);
+    if (it == table_.end()) continue;
+    {
+      // Re-check under the entry lock: a racing pin() wins.
+      std::lock_guard<std::mutex> entry_lock(it->second->mu);
+      if (it->second->strong == nullptr || it->second->pinned) continue;
+      it->second->strong = nullptr;
+    }
+    table_.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    released += c.bytes;
+  }
+  return released;
 }
 
 void GraphRegistry::clear() {
@@ -123,7 +209,38 @@ GraphRegistry::Stats GraphRegistry::stats() const {
   out.entries = table_.size();
   for (const auto& [key, entry] : table_) {
     std::lock_guard<std::mutex> entry_lock(entry->mu);
-    if (entry->pinned != nullptr) ++out.pinned_entries;
+    bool live = !entry->storage.expired();
+    if (live) out.resident_bytes += entry->bytes;
+    if (entry->strong != nullptr) {
+      if (entry->pinned) {
+        ++out.pinned_entries;
+        out.pinned_bytes += entry->bytes;
+      } else {
+        ++out.retained_entries;
+        if (out.lru_last_use_ns == 0 ||
+            entry->last_use_ns < out.lru_last_use_ns) {
+          out.lru_last_use_ns = entry->last_use_ns;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GraphRegistry::EntryInfo> GraphRegistry::entry_stats() const {
+  std::vector<EntryInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(table_.size());
+  for (const auto& [key, entry] : table_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    EntryInfo info;
+    info.path = entry->path;
+    info.bytes = entry->bytes;
+    info.last_use_ns = entry->last_use_ns;
+    info.pinned = entry->strong != nullptr && entry->pinned;
+    info.retained = entry->strong != nullptr && !entry->pinned;
+    info.live = !entry->storage.expired();
+    out.push_back(std::move(info));
   }
   return out;
 }

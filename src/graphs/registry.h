@@ -18,9 +18,20 @@
 //
 // Ownership: entries hold a `weak_ptr<GraphStorage>`. The registry never
 // extends a graph's lifetime by itself — when the last Graph drops, the
-// mapping is unmapped as before and the entry is just a tombstone. `pin()`
-// upgrades an entry to a strong reference for serving use (the mapping
-// survives between requests); `evict()` drops an entry, pinned or not.
+// mapping is unmapped as before and the entry is just a tombstone. Two
+// strong-reference upgrades exist for serving use:
+//   * `pin()`    — the mapping survives between requests AND is protected
+//                  from LRU eviction (hot graphs a server must keep);
+//   * `retain()` — the mapping survives between requests but is fair game
+//                  for `evict_lru()` under memory pressure (warm cache).
+// `evict()` drops an entry, pinned or not.
+//
+// Memory pressure: every entry tracks its last use (open/pin/retain, steady
+// clock) and its mapped byte size. `evict_lru(bytes_needed)` walks
+// retained-but-unpinned entries oldest-first, dropping strong references
+// and entries until it has released at least `bytes_needed` bytes of
+// mappings (best effort: bytes whose storage is still referenced by
+// in-flight graphs are released only when those graphs drop).
 //
 // Concurrency: a global table mutex guards the key -> entry map, and a
 // per-entry mutex is held across the opener callback, so two threads racing
@@ -41,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "graphs/storage.h"
 
@@ -56,8 +68,25 @@ class GraphRegistry {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t bytes_mapped = 0;
-    std::uint64_t entries = 0;         // live table entries (incl. expired)
-    std::uint64_t pinned_entries = 0;  // entries holding a strong reference
+    std::uint64_t entries = 0;           // live table entries (incl. expired)
+    std::uint64_t pinned_entries = 0;    // pin()ned (LRU-protected) entries
+    std::uint64_t pinned_bytes = 0;      // their mapped bytes
+    std::uint64_t retained_entries = 0;  // retain()ed (LRU-evictable) entries
+    std::uint64_t resident_bytes = 0;    // mapped bytes of all live entries
+    // Steady-clock ns of the least-recently-used *evictable* (retained,
+    // unpinned, live) entry; 0 when there is none. The LRU decision and the
+    // metrics documents read the same number.
+    std::uint64_t lru_last_use_ns = 0;
+  };
+
+  // Per-entry snapshot for diagnostics and the server's `stats` response.
+  struct EntryInfo {
+    std::string path;   // the spelling this entry was last opened under
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use_ns = 0;  // steady clock; see Stats::lru_last_use_ns
+    bool pinned = false;
+    bool retained = false;
+    bool live = false;  // storage not yet expired
   };
 
   static GraphRegistry& instance();
@@ -72,13 +101,19 @@ class GraphRegistry {
                          const std::function<StorageRef()>& opener);
 
   // Upgrades the entry for `path` to a strong reference so the mapping
-  // outlives the graphs using it (serving mode). Returns false when there
-  // is no live entry to pin (never opened, or already expired).
+  // outlives the graphs using it (serving mode), and protects it from
+  // evict_lru(). Returns false when there is no live entry to pin (never
+  // opened, or already expired).
   bool pin(const std::string& path);
 
-  // Drops the strong reference taken by pin() without evicting the entry;
-  // the storage then lives only as long as outstanding graphs. Returns
-  // false when the entry does not exist.
+  // Like pin(), but the entry stays eligible for evict_lru(): the mapping
+  // survives between requests only until memory pressure reclaims it.
+  // Pinned entries stay pinned (retain never downgrades a pin).
+  bool retain(const std::string& path);
+
+  // Drops the strong reference taken by pin()/retain() without evicting the
+  // entry; the storage then lives only as long as outstanding graphs.
+  // Returns false when the entry does not exist.
   bool unpin(const std::string& path);
 
   // Removes the entry for `path`, pinned or not, and counts an eviction.
@@ -89,13 +124,25 @@ class GraphRegistry {
 
   // Sweeps tombstones: removes unpinned entries whose storage has expired.
   // Returns the number removed (not counted as evictions — their mappings
-  // were already gone).
+  // were already gone). Also runs automatically on every open_shared()
+  // miss, so a serving process that cycles through many graphs never
+  // accumulates an unbounded tombstone table.
   std::size_t evict_expired();
+
+  // Memory-pressure eviction: drops retained-but-unpinned entries in
+  // least-recently-used order until at least `bytes_needed` bytes of
+  // mappings have been released (or no candidates remain). Each drop counts
+  // as an eviction. Returns the bytes released. Pinned entries are never
+  // touched; neither are plain weak entries (they hold no memory).
+  std::uint64_t evict_lru(std::uint64_t bytes_needed);
 
   // Drops every entry and zeroes all counters. Test hook.
   void clear();
 
   Stats stats() const;
+
+  // Snapshot of every table entry (diagnostics; O(entries)).
+  std::vector<EntryInfo> entry_stats() const;
 
  private:
   // stat(2) identity of an open; see the keying discussion above.
@@ -110,7 +157,11 @@ class GraphRegistry {
   struct Entry {
     std::mutex mu;  // held across the opener: one mapping per race
     std::weak_ptr<GraphStorage> storage;
-    StorageRef pinned;  // non-null after pin(); cleared by unpin()/evict()
+    StorageRef strong;   // non-null after pin()/retain(); cleared by unpin()
+    bool pinned = false;  // strong && pinned => protected from evict_lru()
+    std::uint64_t last_use_ns = 0;  // steady clock; open/pin/retain update it
+    std::uint64_t bytes = 0;        // mapped bytes of this entry's storage
+    std::string path;  // last spelling opened; diagnostics only
   };
 
   GraphRegistry() = default;

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "pasgal/fault.h"
 #include "pasgal/resource.h"
 
 namespace pasgal {
@@ -63,6 +64,9 @@ MappedFile::~MappedFile() {
 }
 
 MappedFile MappedFile::open(const std::string& path) {
+  if (fault::should_fail("mmap")) {
+    throw Error(ErrorCategory::kIo, "injected fault: mmap", path);
+  }
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     throw Error(ErrorCategory::kIo,
@@ -118,6 +122,10 @@ StorageRef GraphStorage::owned(std::vector<StorageEdgeId> offsets,
 
 Status GraphStorage::check_footprint(std::uint64_t n, std::uint64_t m,
                                      bool weighted, const std::string& path) {
+  if (fault::should_fail("alloc")) {
+    return Status::Failure(ErrorCategory::kResource, "injected fault: alloc",
+                           path);
+  }
   std::uint64_t bytes_per_edge =
       sizeof(StorageVertexId) + (weighted ? sizeof(StorageWeight) : 0);
   unsigned __int128 need =

@@ -1,0 +1,79 @@
+// Cooperative cancellation for long-running algorithm invocations.
+//
+// A serving process cannot afford a query that runs forever: the scheduler
+// is shared, so one adversarial graph shape (a 10^7-vertex chain under a
+// level-synchronous algorithm) would starve every other request. Preemption
+// is off the table — workers hold no locks but share scratch arrays — so
+// cancellation is cooperative: the round master checks a token at every
+// global synchronization (the edge_map round boundary, the stepping
+// framework's step boundary) and unwinds with a typed kTimeout Error. All
+// run state is function-local, so the unwind is clean and the worker pool
+// survives to run the next query.
+//
+// A token is armed with either an explicit cancel() (another thread, a
+// signal-driven drain) or a wall-clock deadline; `expired()` is a relaxed
+// atomic load plus, when a deadline is set, one steady_clock read — cheap
+// enough for per-round use, far too coarse for per-edge use (by design:
+// checking inside the parallel loops would put a clock read on the hot
+// path and an exception on a worker thread).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "pasgal/error.h"
+
+namespace pasgal {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Arms a deadline `ms` milliseconds from now (replacing any previous
+  // deadline). A deadline of 0 ms is already expired — useful in tests.
+  void set_deadline_ms(std::uint64_t ms) {
+    auto at = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    deadline_ns_.store(at.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  // Explicit cancellation (drain paths, tests). Idempotent.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // True once cancelled or past the deadline. Latches: after the deadline
+  // passes once, later calls are a single atomic load.
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    std::int64_t at = deadline_ns_.load(std::memory_order_acquire);
+    if (at == 0) return false;
+    if (std::chrono::steady_clock::now().time_since_epoch().count() < at) {
+      return false;
+    }
+    cancelled_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  // Round-boundary check: throws the typed kTimeout Error callers map to a
+  // typed response / exit code 5. `where` names the boundary for the
+  // diagnostic. Must be called from the round master (the thread driving
+  // the outer loop), never from inside a parallel_for.
+  void check(const char* where) const {
+    if (expired()) {
+      throw Error(ErrorCategory::kTimeout,
+                  std::string("deadline exceeded (cancelled at ") + where +
+                      ")");
+    }
+  }
+
+ private:
+  // Latched by const expired() once the deadline passes, hence mutable.
+  mutable std::atomic<bool> cancelled_{false};
+  // steady_clock time-since-epoch in ns; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace pasgal

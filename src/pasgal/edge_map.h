@@ -18,6 +18,7 @@
 
 #include "graphs/graph.h"
 #include "parlay/primitives.h"
+#include "pasgal/cancel.h"
 #include "pasgal/stats.h"
 #include "pasgal/vertex_subset.h"
 
@@ -27,6 +28,9 @@ struct EdgeMapOptions {
   bool allow_dense = true;
   // Dense when (|F| + outdeg(F)) > m / den  (GAPBS uses m/20).
   EdgeId dense_threshold_den = 20;
+  // Cooperative cancellation, checked once at edge_map entry — the round
+  // boundary — from the round master. Null disables the check.
+  const CancelToken* cancel = nullptr;
 };
 
 // `g` supplies out-edges (push); `gt` supplies in-edges for the pull
@@ -40,6 +44,7 @@ VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
   // single atomic load afterwards).
   g.ensure_validated();
   gt.ensure_validated();
+  if (opt.cancel != nullptr) opt.cancel->check("edge_map round boundary");
   std::size_t n = g.num_vertices();
   EdgeId frontier_work = frontier.out_degree_sum(g) + frontier.size();
   bool go_dense = opt.allow_dense &&

@@ -10,7 +10,8 @@
 //               `throw_if_error()`.
 //
 // Categories map to the uniform app exit codes (see exit_code() below):
-//   0 ok / 2 usage / 3 bad input (io, format, validation) / 4 resource.
+//   0 ok / 2 usage / 3 bad input (io, format, validation) / 4 resource /
+//   5 timeout.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +29,8 @@ enum class ErrorCategory {
                 // monotonicity, target bounds, cycle in a DAG input, ...)
   kResource,    // input would exceed a memory/capacity ceiling
   kUsage,       // bad command-line flags or malformed generator spec syntax
+  kTimeout,     // a cooperative deadline expired mid-run (the run unwound
+                // cleanly at a round boundary; the process is healthy)
 };
 
 inline const char* to_string(ErrorCategory c) {
@@ -37,6 +40,7 @@ inline const char* to_string(ErrorCategory c) {
     case ErrorCategory::kValidation: return "validation";
     case ErrorCategory::kResource: return "resource";
     case ErrorCategory::kUsage: return "usage";
+    case ErrorCategory::kTimeout: return "timeout";
   }
   return "unknown";
 }
@@ -49,6 +53,7 @@ inline int exit_code(ErrorCategory c) {
     case ErrorCategory::kFormat:
     case ErrorCategory::kValidation: return 3;
     case ErrorCategory::kResource: return 4;
+    case ErrorCategory::kTimeout: return 5;
   }
   return 1;
 }

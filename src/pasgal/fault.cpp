@@ -1,0 +1,86 @@
+#include "pasgal/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "pasgal/cli.h"
+#include "pasgal/error.h"
+
+namespace pasgal::fault {
+
+namespace {
+
+// Armed state behind a fast-path flag: `armed` is false in the common case,
+// so should_fail() costs one relaxed load per call site. The slow path
+// (matching the site string, counting hits) takes a mutex — failpoints are
+// on error-recovery-grade paths, not per-edge hot loops.
+std::atomic<bool> armed{false};
+std::mutex mu;
+std::string site_name;        // guarded by mu
+long long fire_on_hit = 1;    // guarded by mu
+long long hits = 0;           // guarded by mu
+std::once_flag env_once;
+
+void arm_locked(const std::string& spec) {
+  std::size_t colon = spec.find(':');
+  std::string site = spec.substr(0, colon);
+  long long nth = 1;
+  if (colon != std::string::npos) {
+    nth = cli::parse_int(spec.substr(colon + 1), "PASGAL_FAULT nth", 1,
+                         1LL << 40, ErrorCategory::kUsage);
+  }
+  if (site.empty()) {
+    throw Error(ErrorCategory::kUsage,
+                "PASGAL_FAULT spec '" + spec + "': empty site name");
+  }
+  site_name = site;
+  fire_on_hit = nth;
+  hits = 0;
+  armed.store(true, std::memory_order_release);
+}
+
+void load_env_once() {
+  std::call_once(env_once, [] {
+    const char* env = std::getenv("PASGAL_FAULT");
+    if (env == nullptr || env[0] == '\0') return;
+    std::lock_guard<std::mutex> lock(mu);
+    arm_locked(env);  // a malformed env spec throws kUsage at first use
+  });
+}
+
+}  // namespace
+
+bool should_fail(const char* site) {
+  load_env_once();
+  if (!armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!armed.load(std::memory_order_relaxed) || site_name != site) {
+    return false;
+  }
+  if (++hits < fire_on_hit) return false;
+  armed.store(false, std::memory_order_release);  // fire once, then disarm
+  return true;
+}
+
+void arm(const std::string& spec) {
+  load_env_once();  // claim the once-flag so a later env read can't rearm
+  std::lock_guard<std::mutex> lock(mu);
+  arm_locked(spec);
+}
+
+void disarm() {
+  load_env_once();
+  std::lock_guard<std::mutex> lock(mu);
+  site_name.clear();
+  armed.store(false, std::memory_order_release);
+}
+
+std::string armed_spec() {
+  load_env_once();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!armed.load(std::memory_order_relaxed)) return "";
+  return site_name + ":" + std::to_string(fire_on_hit);
+}
+
+}  // namespace pasgal::fault

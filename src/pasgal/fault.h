@@ -1,0 +1,43 @@
+// Fault injection for exercising degradation paths.
+//
+// A robustness claim that is never executed is a guess. Every "this error
+// maps to a typed response" path in the serving stack — mmap failure, v2
+// decode corruption, allocation rejection, a client dying mid-write — is
+// reachable on demand through a failpoint:
+//
+//   PASGAL_FAULT=<site>[:<nth>]
+//
+// arms exactly one site; its nth hit (1-based, default 1) fails with the
+// site's natural typed error, then the failpoint disarms itself. Sites:
+//
+//   mmap        MappedFile::open            -> kIo
+//   decode      compressed-targets decode   -> kFormat
+//   alloc       GraphStorage::check_footprint (the single guard point all
+//               untrusted-size allocations pass through) -> kResource
+//   sock_write  server response write       -> treated as a dead client
+//
+// Cost discipline: when nothing is armed, `should_fail` is one relaxed
+// atomic load. The environment is parsed once, lazily; tests arm sites
+// programmatically via arm()/disarm() without env-var games.
+#pragma once
+
+#include <string>
+
+namespace pasgal::fault {
+
+// True exactly once: on the armed site's nth hit. Unarmed sites (and all
+// sites when nothing is armed) always return false.
+bool should_fail(const char* site);
+
+// Programmatic arming, overriding any PASGAL_FAULT env setting:
+// "<site>[:<nth>]". Resets the hit counter. Throws kUsage on a malformed
+// spec or nth < 1.
+void arm(const std::string& spec);
+
+// Disarms everything (also clears an env-armed failpoint for this process).
+void disarm();
+
+// The armed "<site>:<nth>" spec, or "" when disarmed. Diagnostics/tests.
+std::string armed_spec();
+
+}  // namespace pasgal::fault

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "graphs/graph.h"
+#include "pasgal/cancel.h"
 #include "pasgal/telemetry.h"
 #include "pasgal/vgc.h"
 
@@ -59,6 +60,13 @@ struct AlgoOptions {
   // the caller can keep it for later inspection; when null a run-local
   // tracer is used and survives only as RunReport::telemetry.
   Tracer* tracer = nullptr;
+
+  // Cooperative cancellation/deadline token (see pasgal/cancel.h). Checked
+  // by the parallel BFS variants and the stepping SSSP framework at every
+  // round/step boundary; an expired token unwinds the run with a typed
+  // kTimeout Error and leaves the worker pool healthy. Sequential baselines
+  // ignore it (they run no rounds to check between).
+  const CancelToken* cancel = nullptr;
 };
 
 // Output of one algorithm run under the modern API.

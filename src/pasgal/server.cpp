@@ -1,0 +1,488 @@
+#include "pasgal/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <new>
+#include <set>
+#include <utility>
+
+#include "algorithms/bfs/bfs.h"
+#include "algorithms/sssp/sssp.h"
+#include "graphs/graph_io.h"
+#include "graphs/registry.h"
+#include "pasgal/cancel.h"
+#include "pasgal/cli.h"
+#include "pasgal/error.h"
+#include "pasgal/fault.h"
+#include "pasgal/resource.h"
+#include "pasgal/telemetry.h"
+
+namespace pasgal {
+
+namespace {
+
+// A request line longer than this without a newline is a protocol violation
+// (and a trivial memory-exhaustion vector), not a request.
+constexpr std::size_t kMaxRequestLine = 16 * 1024;
+
+bool ends_with_pgr(const std::string& s) {
+  return s.size() > 4 && s.compare(s.size() - 4, 4, ".pgr") == 0;
+}
+
+// Responses are one line by contract; embedded newlines (e.g. in an error
+// message quoting input) would desynchronize the protocol.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  s.push_back('\n');
+  return s;
+}
+
+struct Request {
+  std::string cmd;
+  std::map<std::string, std::string> kv;
+  std::set<std::string> flags;
+};
+
+Request parse_request(const std::string& line) {
+  Request req;
+  std::size_t i = 0;
+  auto next_token = [&]() -> std::string {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    return line.substr(start, i - start);
+  };
+  req.cmd = next_token();
+  for (;;) {
+    std::string tok = next_token();
+    if (tok.empty()) break;
+    std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      req.flags.insert(tok);
+    } else if (eq == 0 || eq + 1 == tok.size()) {
+      throw Error(ErrorCategory::kUsage,
+                  "malformed token '" + tok + "' (expected key=value)");
+    } else {
+      req.kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+  }
+  return req;
+}
+
+// Strict option vocabulary: an unknown key is a typo the client should hear
+// about, not a silently ignored knob.
+void check_vocabulary(const Request& req, const std::set<std::string>& keys,
+                      const std::set<std::string>& flags) {
+  for (const auto& [k, v] : req.kv) {
+    if (keys.count(k) == 0) {
+      throw Error(ErrorCategory::kUsage,
+                  req.cmd + ": unknown option '" + k + "='");
+    }
+  }
+  for (const std::string& f : req.flags) {
+    if (flags.count(f) == 0) {
+      throw Error(ErrorCategory::kUsage,
+                  req.cmd + ": unknown flag '" + f + "'");
+    }
+  }
+}
+
+std::string require_graph(const Request& req) {
+  auto it = req.kv.find("graph");
+  if (it == req.kv.end()) {
+    throw Error(ErrorCategory::kUsage, req.cmd + ": missing graph=<path>");
+  }
+  if (!ends_with_pgr(it->second)) {
+    throw Error(ErrorCategory::kUsage,
+                req.cmd + ": '" + it->second +
+                    "' is not a .pgr file (the server serves mmap-able .pgr "
+                    "graphs only)");
+  }
+  return it->second;
+}
+
+std::uint64_t kv_int(const Request& req, const char* key,
+                     std::uint64_t fallback, long long max_value) {
+  auto it = req.kv.find(key);
+  if (it == req.kv.end()) return fallback;
+  return static_cast<std::uint64_t>(
+      cli::parse_int(it->second, key, 0, max_value, ErrorCategory::kUsage));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+std::uint64_t Server::admission_budget() const {
+  if (opts_.admission_budget_bytes != 0) return opts_.admission_budget_bytes;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(memory_limit_bytes()) * opts_.admission_fraction);
+}
+
+std::uint64_t Server::requests_ok() const {
+  return requests_ok_.load(std::memory_order_relaxed);
+}
+std::uint64_t Server::requests_error() const {
+  return requests_error_.load(std::memory_order_relaxed);
+}
+std::uint64_t Server::connections_dropped() const {
+  return connections_dropped_.load(std::memory_order_relaxed);
+}
+
+void Server::bind() {
+  if (opts_.socket_path.empty()) {
+    throw Error(ErrorCategory::kUsage, "server: empty socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw Error(ErrorCategory::kUsage,
+                "server: socket path exceeds " +
+                    std::to_string(sizeof(addr.sun_path) - 1) + " bytes",
+                opts_.socket_path);
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error(ErrorCategory::kIo,
+                std::string("socket: ") + std::strerror(errno),
+                opts_.socket_path);
+  }
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw Error(ErrorCategory::kIo,
+                std::string("bind: ") + std::strerror(errno),
+                opts_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw Error(ErrorCategory::kIo,
+                std::string("listen: ") + std::strerror(errno),
+                opts_.socket_path);
+  }
+  if (::pipe2(stop_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
+    throw Error(ErrorCategory::kIo,
+                std::string("pipe2: ") + std::strerror(errno));
+  }
+}
+
+void Server::request_stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (stop_pipe_[1] >= 0) {
+    char byte = 's';
+    // Best-effort, async-signal-safe; a full pipe already woke everyone.
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::run() {
+  if (listen_fd_ < 0) {
+    throw Error(ErrorCategory::kUsage, "server: run() before bind()");
+  }
+  accept_loop();
+  // Drain: no new accepts; every connection thread notices the stop pipe,
+  // finishes its in-flight request, and exits.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(pfd, 2, opts_.poll_tick_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;  // poll on our own fds failing is unrecoverable; drain
+    }
+    if (rc == 0 || (pfd[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;  // client vanished between poll and accept
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool alive = true;
+  while (alive) {
+    // Serve every complete line already buffered.
+    std::size_t nl;
+    while (alive && (nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      alive = send_line(fd, handle_request(line));
+    }
+    if (!alive || stopping_.load(std::memory_order_acquire)) break;
+    if (buf.size() > kMaxRequestLine) {
+      requests_error_.fetch_add(1, std::memory_order_relaxed);
+      send_line(fd, one_line("error [usage] request line exceeds " +
+                             std::to_string(kMaxRequestLine) + " bytes"));
+      break;
+    }
+    pollfd pfd[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(pfd, 2, opts_.poll_tick_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfd[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (got <= 0) break;  // client closed (or died)
+      buf.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+  ::close(fd);
+}
+
+bool Server::send_line(int fd, const std::string& line) {
+  if (fault::should_fail("sock_write")) {
+    // Simulated dead client: same handling as a real EPIPE below.
+    connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    // MSG_NOSIGNAL: a dead client must surface as EPIPE here, not as a
+    // process-killing SIGPIPE.
+    ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// --- request handling --------------------------------------------------------
+
+std::string Server::handle_request(const std::string& line) {
+  try {
+    Request req = parse_request(line);
+    std::string out;
+    if (req.cmd == "open") {
+      check_vocabulary(req, {"graph"}, {"pin"});
+      out = do_open(require_graph(req), req.flags.count("pin") != 0);
+    } else if (req.cmd == "bfs" || req.cmd == "sssp") {
+      check_vocabulary(req, {"graph", "source", "algo", "deadline_ms"}, {});
+      std::string algo = req.cmd == "bfs" ? "pasgal" : "rho";
+      if (auto it = req.kv.find("algo"); it != req.kv.end()) algo = it->second;
+      out = do_query(req.cmd, require_graph(req),
+                     kv_int(req, "source", 0, (1LL << 32) - 1), algo,
+                     kv_int(req, "deadline_ms", opts_.default_deadline_ms,
+                            1LL << 40));
+    } else if (req.cmd == "stats") {
+      check_vocabulary(req, {}, {});
+      out = do_stats();
+    } else if (req.cmd == "evict") {
+      check_vocabulary(req, {"graph"}, {});
+      out = do_evict(require_graph(req));
+    } else if (req.cmd == "shutdown") {
+      check_vocabulary(req, {}, {});
+      request_stop();
+      out = "ok draining";
+    } else {
+      throw Error(ErrorCategory::kUsage,
+                  "unknown command '" + req.cmd +
+                      "' (expected open|bfs|sssp|stats|evict|shutdown)");
+    }
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    return one_line(std::move(out));
+  } catch (const Error& e) {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    return one_line(std::string("error ") + e.what());
+  } catch (const std::bad_alloc&) {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    return one_line(
+        "error [resource] allocation failed mid-request (admission control "
+        "undersized; lower the budget)");
+  } catch (const std::exception& e) {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    return one_line(std::string("error [internal] ") + e.what());
+  }
+}
+
+void Server::admit(const std::string& path) {
+  // Header-only probe: costs one pread-sized mapping, no section bytes.
+  // Throws the reader's typed kIo/kFormat on a missing/corrupt file, which
+  // is the right response before any admission math.
+  PgrInfo info = probe_pgr(path);
+  std::uint64_t need = info.file_bytes;
+  if (info.compressed) {
+    // Compressed targets decode into a heap array on open.
+    need += info.m * sizeof(VertexId);
+  }
+  std::uint64_t budget = admission_budget();
+  GraphRegistry& reg = GraphRegistry::instance();
+  std::uint64_t resident = reg.stats().resident_bytes;
+  if (resident + need > budget) {
+    reg.evict_lru(resident + need - budget);
+    resident = reg.stats().resident_bytes;
+  }
+  if (resident + need > budget) {
+    throw Error(ErrorCategory::kResource,
+                "admission: graph needs " + std::to_string(need) +
+                    " bytes but only " +
+                    std::to_string(budget > resident ? budget - resident : 0) +
+                    " of the " + std::to_string(budget) +
+                    "-byte budget is free (" + std::to_string(resident) +
+                    " resident, nothing evictable left)",
+                path);
+  }
+}
+
+void Server::ensure_open(const std::string& path) {
+  GraphRegistry& reg = GraphRegistry::instance();
+  // retain() doubles as the residency probe: true means a live mapping
+  // exists (and is now kept alive for future requests).
+  if (reg.retain(path)) return;
+  admit(path);
+  {
+    // read_pgr may decode compressed targets with parallel_for: scheduler
+    // work, so it takes the exec lock like any query (see server.h).
+    std::lock_guard<std::mutex> exec(exec_mu_);
+    Graph g = read_pgr(path);
+    // Retain while g still holds the mapping — once g dies the registry
+    // entry is a tombstone and retain() would miss.
+    reg.retain(path);
+  }
+}
+
+std::string Server::do_open(const std::string& path, bool pin) {
+  GraphRegistry& reg = GraphRegistry::instance();
+  bool warm = reg.retain(path);
+  if (!warm) {
+    admit(path);
+    std::lock_guard<std::mutex> exec(exec_mu_);
+    Graph g = read_pgr(path);
+    (void)g;
+    reg.retain(path);
+  }
+  if (pin) reg.pin(path);
+  PgrInfo info = probe_pgr(path);
+  return "ok opened graph=" + path + " n=" + std::to_string(info.n) +
+         " m=" + std::to_string(info.m) +
+         " bytes=" + std::to_string(info.file_bytes) +
+         " warm=" + (warm ? "1" : "0") + " pinned=" + (pin ? "1" : "0");
+}
+
+std::string Server::do_query(const std::string& cmd, const std::string& path,
+                             std::uint64_t source, const std::string& algo,
+                             std::uint64_t deadline_ms) {
+  ensure_open(path);
+
+  CancelToken token;
+  if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
+
+  AlgoOptions opt;
+  opt.source = static_cast<VertexId>(source);
+  opt.cancel = &token;
+
+  // One external thread at a time may drive the work-stealing pool (all
+  // non-pool threads share worker slot 0); everything below — validation,
+  // transpose, the run itself — is parallel.
+  std::lock_guard<std::mutex> exec(exec_mu_);
+
+  if (cmd == "bfs") {
+    Graph g = read_pgr(path);  // registry hit: shares the retained mapping
+    if (source >= g.num_vertices()) {
+      throw Error(ErrorCategory::kUsage,
+                  "source=" + std::to_string(source) + " out of range (n=" +
+                      std::to_string(g.num_vertices()) + ")");
+    }
+    Graph gt = g.transpose();  // memoized on the shared storage handle
+    RunReport<std::vector<std::uint32_t>> report;
+    if (algo == "pasgal") {
+      report = pasgal_bfs(g, gt, opt);
+    } else if (algo == "gbbs") {
+      report = gbbs_bfs(g, gt, opt);
+    } else {
+      throw Error(ErrorCategory::kUsage,
+                  "bfs: unknown algo '" + algo + "' (expected pasgal|gbbs)");
+    }
+    MetricsDoc doc("bfs", algo, path, g.num_vertices(), g.num_edges());
+    doc.set_param("source", source);
+    if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
+    doc.add_trial(report.seconds, report.telemetry);
+    return doc.to_json();
+  }
+
+  // sssp: the file must carry a weights section (typed error otherwise).
+  if (algo != "rho" && algo != "delta") {
+    throw Error(ErrorCategory::kUsage,
+                "sssp: unknown algo '" + algo + "' (expected rho|delta)");
+  }
+  WeightedGraph<std::uint32_t> wg = read_weighted_pgr(path);
+  if (source >= wg.num_vertices()) {
+    throw Error(ErrorCategory::kUsage,
+                "source=" + std::to_string(source) + " out of range (n=" +
+                    std::to_string(wg.num_vertices()) + ")");
+  }
+  opt.sssp_delta_mode = algo == "delta";
+  RunReport<std::vector<Dist>> report = stepping_sssp(wg, opt);
+  MetricsDoc doc("sssp", algo, path, wg.num_vertices(), wg.num_edges());
+  doc.set_param("source", source);
+  if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
+  doc.add_trial(report.seconds, report.telemetry);
+  return doc.to_json();
+}
+
+std::string Server::do_stats() {
+  GraphRegistry::Stats st = GraphRegistry::instance().stats();
+  return "ok entries=" + std::to_string(st.entries) +
+         " resident_bytes=" + std::to_string(st.resident_bytes) +
+         " pinned=" + std::to_string(st.pinned_entries) +
+         " pinned_bytes=" + std::to_string(st.pinned_bytes) +
+         " retained=" + std::to_string(st.retained_entries) +
+         " hits=" + std::to_string(st.hits) +
+         " misses=" + std::to_string(st.misses) +
+         " evictions=" + std::to_string(st.evictions) +
+         " budget_bytes=" + std::to_string(admission_budget()) +
+         " requests_ok=" + std::to_string(requests_ok()) +
+         " requests_error=" + std::to_string(requests_error()) +
+         " connections_dropped=" + std::to_string(connections_dropped());
+}
+
+std::string Server::do_evict(const std::string& path) {
+  GraphRegistry& reg = GraphRegistry::instance();
+  reg.unpin(path);
+  if (!reg.evict(path)) {
+    throw Error(ErrorCategory::kValidation, "not open", path);
+  }
+  return "ok evicted graph=" + path;
+}
+
+}  // namespace pasgal

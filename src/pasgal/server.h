@@ -1,0 +1,153 @@
+// pasgal_serve: a long-lived graph-query daemon on a unix socket.
+//
+// The serving arc (ROADMAP "serving mode") so far made single runs cheap to
+// repeat inside one process (GraphRegistry, --serve N). This is the missing
+// piece: a process that stays up, owns the worker pool, and answers queries
+// over a line-based protocol — which forces every robustness question the
+// one-shot drivers could ignore. The answers, in one place:
+//
+//   * Admission control — an `open` is checked against a byte budget
+//     (ServerOptions::admission_budget_bytes, defaulting to a fraction of
+//     the pasgal/resource.h ceiling) BEFORE any mapping or decode happens.
+//     Over budget → LRU eviction of unpinned graphs; still over → a typed
+//     [resource] response. The daemon never learns about memory pressure
+//     from the OOM killer.
+//   * Deadlines — `deadline_ms=N` on a query arms a CancelToken checked at
+//     round boundaries (pasgal/cancel.h). Expiry unwinds that one query
+//     with a typed [timeout] response; the worker pool and every other
+//     connection are untouched.
+//   * Graceful degradation — malformed requests, corrupt files, over-budget
+//     opens and expired deadlines produce one-line typed errors on the
+//     connection that asked; a client that dies mid-response just loses its
+//     connection. request_stop() (SIGTERM in the app) stops accepting,
+//     lets in-flight requests finish, and run() returns cleanly.
+//   * Fault injection — the pasgal/fault.h failpoints (mmap, decode, alloc,
+//     sock_write) make each of those paths executable on demand.
+//
+// Protocol: newline-terminated requests, exactly one newline-terminated
+// response per request.
+//
+//   open graph=<path.pgr> [pin]        -> ok opened ...        (admission)
+//   bfs graph=<p> source=<v> [algo=pasgal|gbbs] [deadline_ms=<n>]
+//                                      -> pasgal.metrics v1 JSON (one line)
+//   sssp graph=<p> source=<v> [algo=rho|delta] [deadline_ms=<n>]
+//                                      -> pasgal.metrics v1 JSON (one line)
+//   stats                              -> ok entries=... resident_bytes=...
+//   evict graph=<p>                    -> ok evicted ...
+//   shutdown                           -> ok draining   (then run() returns)
+//   anything else                      -> error [usage] ...
+//
+// Error responses use the app drivers' stderr shape — "error [category]
+// message" — so the same scripts can match both.
+//
+// Threading: one accept loop (the thread calling run()) plus one thread per
+// connection. Anything that drives the work-stealing pool — queries, and
+// opens that decode/validate in parallel — is serialized by an internal
+// mutex: the scheduler maps every non-pool thread to worker slot 0, so
+// exactly one external thread may drive parallel work at a time (the accept
+// thread never does). Queries and opens therefore queue; stats and
+// evictions proceed concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pasgal {
+
+struct ServerOptions {
+  // Filesystem path of the unix SOCK_STREAM socket. bind() unlinks a
+  // pre-existing entry (stale sockets survive a crash; the path is the
+  // caller's to own).
+  std::string socket_path;
+
+  // Admission budget for resident graph bytes. 0 means derive it:
+  // admission_fraction * memory_limit_bytes(). Tests set it directly —
+  // the resource.h ceiling is resolved once per process and cannot vary
+  // between test cases.
+  std::uint64_t admission_budget_bytes = 0;
+  double admission_fraction = 0.5;
+
+  // Deadline applied to queries that don't pass deadline_ms=. 0 = none.
+  std::uint64_t default_deadline_ms = 0;
+
+  // Poll tick for the accept and connection loops: the latency bound on
+  // noticing request_stop() while idle.
+  int poll_tick_ms = 100;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Creates, binds and listens on the socket (typed kIo Error on failure).
+  // Separate from run() so callers can report readiness before blocking.
+  void bind();
+
+  // Serves until request_stop(): accepts connections, spawns one handler
+  // thread each, and on stop drains — no new accepts, in-flight requests
+  // finish, connection threads join — then removes the socket and returns.
+  // Call bind() first.
+  void run();
+
+  // Stop trigger, callable from any thread and from a signal handler (one
+  // write(2) to a self-pipe; async-signal-safe). Idempotent.
+  void request_stop();
+
+  // The effective admission budget in bytes (resolved from the options).
+  std::uint64_t admission_budget() const;
+
+  // Lifetime request counters (responses sent, error responses among them,
+  // connections dropped mid-write). For tests and the stats response.
+  std::uint64_t requests_ok() const;
+  std::uint64_t requests_error() const;
+  std::uint64_t connections_dropped() const;
+
+ private:
+  // One newline-terminated response line for one request line. Never throws:
+  // every failure is rendered as an "error [category] ..." line.
+  std::string handle_request(const std::string& line);
+
+  std::string do_open(const std::string& path, bool pin);
+  std::string do_query(const std::string& cmd, const std::string& path,
+                       std::uint64_t source, const std::string& algo,
+                       std::uint64_t deadline_ms);
+  std::string do_stats();
+  std::string do_evict(const std::string& path);
+
+  // Admission check for a .pgr not currently resident; throws kResource
+  // when the budget cannot be met even after LRU eviction.
+  void admit(const std::string& path);
+
+  // Ensures `path` is open and retained (auto-open for queries).
+  void ensure_open(const std::string& path);
+
+  void accept_loop();
+  void handle_connection(int fd);
+  // False when the client is gone (write failed / injected sock_write
+  // fault): the caller closes the connection.
+  bool send_line(int fd, const std::string& line);
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  // Serializes algorithm execution (see the threading note above).
+  std::mutex exec_mu_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_error_{0};
+  std::atomic<std::uint64_t> connections_dropped_{0};
+};
+
+}  // namespace pasgal

@@ -263,6 +263,138 @@ TEST_F(RegistryTest, ValidatedHitStillChecksContents) {
   EXPECT_EQ(GraphRegistry::instance().stats().hits, 1u);
 }
 
+TEST_F(RegistryTest, RetainKeepsAliveButEvictable) {
+  std::string path = write_graph("retained.pgr");
+  const GraphStorage* raw = nullptr;
+  std::uint64_t bytes = 0;
+  {
+    Graph g = read_pgr(path, PgrOpen::kMmap);
+    raw = g.storage().get();
+    bytes = g.storage()->bytes_mapped();
+    ASSERT_TRUE(GraphRegistry::instance().retain(path));
+  }
+  // Like pin: the mapping survives the last Graph, the next open is a hit.
+  {
+    Graph g = read_pgr(path, PgrOpen::kMmap);
+    EXPECT_EQ(g.storage().get(), raw);
+  }
+  GraphRegistry::Stats stats = GraphRegistry::instance().stats();
+  EXPECT_EQ(stats.retained_entries, 1u);
+  EXPECT_EQ(stats.pinned_entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, bytes);
+  EXPECT_NE(stats.lru_last_use_ns, 0u);
+
+  // Unlike pin: memory pressure may take it.
+  EXPECT_EQ(GraphRegistry::instance().evict_lru(1), bytes);
+  stats = GraphRegistry::instance().stats();
+  EXPECT_EQ(stats.retained_entries, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  Graph again = read_pgr(path, PgrOpen::kMmap);
+  EXPECT_EQ(GraphRegistry::instance().stats().misses, 2u)
+      << "after LRU eviction the reopen maps afresh";
+}
+
+TEST_F(RegistryTest, EvictLruNeverTouchesPinnedEntries) {
+  std::string pinned = write_graph("lru_pinned.pgr", 96);
+  std::string retained = write_graph("lru_retained.pgr", 96);
+  std::uint64_t retained_bytes = 0;
+  {
+    Graph a = read_pgr(pinned, PgrOpen::kMmap);
+    Graph b = read_pgr(retained, PgrOpen::kMmap);
+    retained_bytes = b.storage()->bytes_mapped();
+    ASSERT_TRUE(GraphRegistry::instance().pin(pinned));
+    ASSERT_TRUE(GraphRegistry::instance().retain(retained));
+  }
+  // Ask for far more than exists: only the retained entry may go.
+  EXPECT_EQ(GraphRegistry::instance().evict_lru(std::uint64_t(1) << 40),
+            retained_bytes);
+  GraphRegistry::Stats stats = GraphRegistry::instance().stats();
+  EXPECT_EQ(stats.pinned_entries, 1u);
+  EXPECT_EQ(stats.retained_entries, 0u);
+  // The pinned mapping is still warm.
+  Graph g = read_pgr(pinned, PgrOpen::kMmap);
+  EXPECT_EQ(GraphRegistry::instance().stats().hits, 1u);
+}
+
+TEST_F(RegistryTest, EvictLruDropsOldestFirstAndStopsAtTheTarget) {
+  std::string older = write_graph("lru_old.pgr", 96);
+  std::string newer = write_graph("lru_new.pgr", 96);
+  {
+    Graph a = read_pgr(older, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(older));
+    Graph b = read_pgr(newer, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(newer));
+  }
+  // One byte needed: one eviction suffices, and it must be the older entry.
+  EXPECT_GT(GraphRegistry::instance().evict_lru(1), 0u);
+  std::vector<GraphRegistry::EntryInfo> entries =
+      GraphRegistry::instance().entry_stats();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, newer);
+  EXPECT_TRUE(entries[0].retained);
+  EXPECT_TRUE(entries[0].live);
+}
+
+TEST_F(RegistryTest, ReopenRefreshesLruOrder) {
+  std::string first = write_graph("lru_ref_a.pgr", 96);
+  std::string second = write_graph("lru_ref_b.pgr", 96);
+  {
+    Graph a = read_pgr(first, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(first));
+    Graph b = read_pgr(second, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(second));
+    // Touch the first again: a registry hit updates last-use, so the
+    // SECOND entry is now the LRU victim.
+    Graph a2 = read_pgr(first, PgrOpen::kMmap);
+  }
+  EXPECT_GT(GraphRegistry::instance().evict_lru(1), 0u);
+  std::vector<GraphRegistry::EntryInfo> entries =
+      GraphRegistry::instance().entry_stats();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, first);
+}
+
+TEST_F(RegistryTest, UnpinDropsARetainToo) {
+  std::string path = write_graph("retain_unpin.pgr");
+  {
+    Graph g = read_pgr(path, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(path));
+  }
+  ASSERT_TRUE(GraphRegistry::instance().unpin(path));
+  // Strong reference gone, no Graphs left: the storage expired.
+  EXPECT_FALSE(GraphRegistry::instance().retain(path));
+  EXPECT_EQ(GraphRegistry::instance().stats().retained_entries, 0u);
+}
+
+TEST_F(RegistryTest, MissPathSweepsTombstonesAutomatically) {
+  std::string dead = write_graph("sweep_dead.pgr", 48);
+  std::string live = write_graph("sweep_live.pgr", 48);
+  { Graph g = read_pgr(dead, PgrOpen::kMmap); }
+  EXPECT_EQ(GraphRegistry::instance().stats().entries, 1u);
+  // No explicit evict_expired(): the next cold open sweeps the tombstone.
+  Graph g = read_pgr(live, PgrOpen::kMmap);
+  GraphRegistry::Stats stats = GraphRegistry::instance().stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(RegistryTest, StatsSeparatePinnedAndResidentBytes) {
+  std::string a = write_graph("bytes_a.pgr", 64);
+  std::string b = write_graph("bytes_b.pgr", 64);
+  Graph ga = read_pgr(a, PgrOpen::kMmap);
+  Graph gb = read_pgr(b, PgrOpen::kMmap);
+  ASSERT_TRUE(GraphRegistry::instance().pin(a));
+  GraphRegistry::Stats stats = GraphRegistry::instance().stats();
+  EXPECT_EQ(stats.pinned_entries, 1u);
+  EXPECT_EQ(stats.pinned_bytes, ga.storage()->bytes_mapped());
+  EXPECT_EQ(stats.resident_bytes,
+            ga.storage()->bytes_mapped() + gb.storage()->bytes_mapped())
+      << "resident counts every live mapping, pinned or not";
+  EXPECT_EQ(stats.lru_last_use_ns, 0u)
+      << "a weak (unretained) live entry is not an LRU candidate";
+}
+
 TEST_F(RegistryTest, ClearResetsCountersAndTable) {
   std::string path = write_graph("cleared.pgr");
   Graph g = read_pgr(path, PgrOpen::kMmap);
