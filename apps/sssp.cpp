@@ -4,9 +4,15 @@
 // in [1, max_weight]). -w only applies to generated weights and is rejected
 // alongside a weighted file.
 //
-//   sssp <graph> [-s source] [-a rho|delta|bf|seq] [-w max_weight] [-d delta]
+//   sssp <graph> [-s source | --sources <v0,v1,...|@file>]
+//        [-a rho|delta|bf|seq] [-w max_weight] [-d delta]
 //        [-t tau] [-r repeats] [--serve N] [--validate]
 //        [--json-metrics <path>]
+//
+// `--sources` switches to batched landmark mode: the stepping framework runs
+// once per listed source (max 64) under one shared tracer, and the metrics
+// document gains a "batch" section. Only the stepping variants batch; -a bf
+// and -a seq are per-query baselines.
 //
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
 #include <optional>
@@ -18,15 +24,19 @@ using namespace pasgal;
 
 int main(int argc, char** argv) {
   std::string algo = "rho";
+  bool algo_given = false;
   long long source = 0;
+  bool source_given = false;
+  std::string sources_text;
   long long max_weight = 100;
   bool max_weight_given = false;
   long long delta = 32;
   long long tau = 512;
   cli::OptionSet opts;
   cli::CommonOptions common;
-  opts.integer("-s", &source, 0, 0xFFFFFFFFLL, "source")
-      .choice("-a", &algo, {"rho", "delta", "bf", "seq"})
+  opts.integer("-s", &source, 0, 0xFFFFFFFFLL, "source", &source_given)
+      .choice("-a", &algo, {"rho", "delta", "bf", "seq"}, &algo_given)
+      .text("--sources", &sources_text, "v0,v1,...|@file")
       .integer("-w", &max_weight, 1, 0xFFFFFFFFLL, "max_weight",
                &max_weight_given)
       .integer("-d", &delta, 1, 1LL << 40, "delta")
@@ -40,24 +50,48 @@ int main(int argc, char** argv) {
   return apps::run_app([&]() {
     opts.parse(argc, argv, 2);
 
+    std::vector<VertexId> batch_sources;
+    if (!sources_text.empty()) {
+      if (source_given) {
+        throw Error(ErrorCategory::kUsage,
+                    "-s conflicts with --sources: give one source or a batch");
+      }
+      if (algo_given && algo != "rho" && algo != "delta") {
+        throw Error(ErrorCategory::kUsage,
+                    "--sources batches the stepping framework; -a " + algo +
+                        " has no batch mode (use rho or delta)");
+      }
+      batch_sources = cli::parse_sources(sources_text);
+    }
+
     apps::ServeHarness serve(argv[1], common);
     apps::LoadedWeightedGraph loaded;
     std::optional<MetricsDoc> doc;
+    double best_batch_seconds = 0;  // fastest batch trial, for set_batch
     while (serve.next()) {
       loaded = serve.open_weighted(
           common, static_cast<std::uint32_t>(max_weight), max_weight_given);
       WeightedGraph<std::uint32_t>& g = loaded.graph;
-      if (static_cast<std::size_t>(source) >= g.num_vertices()) {
+      if (batch_sources.empty() &&
+          static_cast<std::size_t>(source) >= g.num_vertices()) {
         throw Error(ErrorCategory::kUsage,
                     "source vertex " + std::to_string(source) +
                         " out of range (graph has " +
                         std::to_string(g.num_vertices()) + " vertices)");
       }
-      std::printf(
-          "graph: n=%zu m=%zu, source=%lld, algorithm=%s, weights=%s, "
-          "workers=%d\n",
-          g.num_vertices(), g.num_edges(), source, algo.c_str(),
-          loaded.weights_origin.c_str(), num_workers());
+      if (batch_sources.empty()) {
+        std::printf(
+            "graph: n=%zu m=%zu, source=%lld, algorithm=%s, weights=%s, "
+            "workers=%d\n",
+            g.num_vertices(), g.num_edges(), source, algo.c_str(),
+            loaded.weights_origin.c_str(), num_workers());
+      } else {
+        std::printf(
+            "graph: n=%zu m=%zu, batch of %zu sources, algorithm=%s, "
+            "weights=%s, workers=%d\n",
+            g.num_vertices(), g.num_edges(), batch_sources.size(),
+            algo.c_str(), loaded.weights_origin.c_str(), num_workers());
+      }
       std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
                   loaded.mode.c_str(), loaded.seconds,
                   (unsigned long long)loaded.bytes_mapped);
@@ -73,10 +107,44 @@ int main(int argc, char** argv) {
 
       if (!doc) {
         doc.emplace("sssp", algo, argv[1], g.num_vertices(), g.num_edges());
-        doc->set_param("source", static_cast<std::uint64_t>(source));
+        if (batch_sources.empty()) {
+          doc->set_param("source", static_cast<std::uint64_t>(source));
+        }
         doc->set_param("max_weight", static_cast<std::uint64_t>(max_weight));
         doc->set_param("delta", static_cast<std::uint64_t>(delta));
         doc->set_param("tau", static_cast<std::uint64_t>(tau));
+      }
+
+      if (!batch_sources.empty()) {
+        BatchOptions bopt{batch_sources, aopt};
+        for (long long r = 0; r < common.repeats; ++r) {
+          BatchReport<std::vector<Dist>> report = batch_sssp(g, bopt);
+          apps::print_stats(algo.c_str(), report.seconds, tracer);
+          std::printf("batch: %zu sources in %.4f s (%.1f queries/s)\n",
+                      report.batch_size(), report.seconds, report.qps());
+          doc->add_trial(report.seconds, report.telemetry);
+          if (r == 0 || report.seconds < best_batch_seconds) {
+            best_batch_seconds = report.seconds;
+          }
+          if (r == 0) {
+            for (std::size_t i = 0; i < report.per_source.size(); ++i) {
+              std::uint64_t reached = 0;
+              Dist far = 0;
+              for (auto d : report.per_source[i].output) {
+                if (d != kInfWeightDist) {
+                  ++reached;
+                  far = std::max(far, d);
+                }
+              }
+              std::printf(
+                  "batch source %u: reached %llu vertices, weighted "
+                  "eccentricity %llu\n",
+                  batch_sources[i], (unsigned long long)reached,
+                  (unsigned long long)far);
+            }
+          }
+        }
+        continue;
       }
 
       for (long long r = 0; r < common.repeats; ++r) {
@@ -99,6 +167,9 @@ int main(int argc, char** argv) {
                       (unsigned long long)reached, (unsigned long long)far);
         }
       }
+    }
+    if (!batch_sources.empty()) {
+      doc->set_batch(batch_sources, best_batch_seconds);
     }
     apps::record_load(*doc, loaded);
     serve.record(*doc);

@@ -325,6 +325,25 @@ case "$resp" in
 esac
 drain "$dpid" "$tmp/daemon_pin.log"
 
+echo "--- QPS gate (batch-of-64 ms_bfs vs 64 sequential singles) ---"
+# Plain build, not sanitized: this is a throughput gate. bench_qps itself
+# cross-checks every per-source distance array against a single-source run,
+# so passing also re-proves batch/single equivalence on this graph.
+"$prefix/apps/graph_gen" rmat:15:500000 "$tmp/qps.pgr" > /dev/null
+PASGAL_BENCH_DIR="$tmp" "$prefix/bench/bench_qps" "$tmp/qps.pgr" 64 \
+    --min-speedup 4 > "$tmp/qps.txt"
+grep -q 'qps gate: ok' "$tmp/qps.txt" || {
+  echo "FAIL: bench_qps did not report the gate as passed" >&2; exit 1
+}
+"$prefix/apps/metrics_check" "$tmp/BENCH_qps.json"
+
+# Driver batch path: --sources through the bfs app, batch metrics validated,
+# and the usage contract (duplicate source) enforced with exit code 2.
+"$prefix/apps/bfs" "$tmp/qps.pgr" --sources 0,1,2,3 -r 1 \
+    --json-metrics "$tmp/qps_drv.json" > /dev/null
+"$prefix/apps/metrics_check" "$tmp/qps_drv.json"
+expect 2 "$prefix/apps/bfs" "$tmp/qps.pgr" --sources 5,5
+
 echo "--- driver --serve drain gate (SIGTERM finishes the open, flushes metrics) ---"
 "$prefix/apps/bfs" "$tmp/serve.pgr" --serve 100000 -r 1 \
     --json-metrics "$tmp/drain.json" > "$tmp/drain.txt" 2>&1 &

@@ -11,9 +11,13 @@
 //  * pasgal_bfs  — this paper: hash-bag frontiers, vertical granularity
 //                  control with multi-frontier (2^i) distance buckets, and
 //                  direction optimization on clean dense levels (§2.2).
+//  * ms_bfs      — bit-parallel multi-source BFS (Then et al., VLDB'14 style):
+//                  one shared frontier sweep advances up to 64 sources, one
+//                  per bit of a per-vertex machine word.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graphs/graph.h"
@@ -64,6 +68,29 @@ std::vector<std::uint32_t> pasgal_bfs(const Graph& g, const Graph& gt,
                                       PasgalBfsParams params = {},
                                       RunStats* stats = nullptr);
 
+// --- bit-parallel multi-source BFS ------------------------------------------
+// Each vertex carries a 64-bit `seen` mask (sources that have reached it) and
+// a `visit` mask (sources that reached it last round). One level-synchronous
+// sweep advances the whole batch: sparse rounds push `visit` masks along
+// out-edges, OR-ing new bits into the targets and collecting first-touched
+// vertices through a hash bag; dense rounds pull every unsaturated vertex's
+// in-edges via edge_map_dense (pull_exhaustive — the AND-NOT against `seen`
+// must gather bits from every in-neighbour, not stop at the first hit).
+// Returns one hop-distance array per source, in input order — byte-identical
+// to running the single-source variants once per source.
+struct MsBfsParams {
+  // Direction-optimization density threshold (frontier work > m/den).
+  EdgeId dense_threshold_den = 20;
+  bool use_dense = true;
+  // Checked at every round boundary; throws kTimeout on expiry, unwinding
+  // the whole batch. Null disables the check.
+  const CancelToken* cancel = nullptr;
+};
+std::vector<std::vector<std::uint32_t>> ms_bfs(const Graph& g, const Graph& gt,
+                                               std::span<const VertexId> sources,
+                                               MsBfsParams params = {},
+                                               RunStats* stats = nullptr);
+
 // --- Modern entry points (algorithms/run_api.cpp) ---------------------------
 // Source, tuning knobs and tracer come from AlgoOptions; the result bundles
 // the distances with wall time and the run's aggregated telemetry.
@@ -76,5 +103,12 @@ RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
 RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
                                                  const Graph& gt,
                                                  const AlgoOptions& opt);
+
+// Batch entry point: validates the source list (check_batch_sources, typed
+// kUsage), runs the bit-parallel kernel once, and slices the result into one
+// RunReport per source (amortized seconds; the shared sweep's telemetry is
+// batch-level — see BatchReport in options.h).
+BatchReport<std::vector<std::uint32_t>> ms_bfs(const Graph& g, const Graph& gt,
+                                               const BatchOptions& opt);
 
 }  // namespace pasgal

@@ -11,7 +11,11 @@
 #include "algorithms/kcore/kcore.h"
 #include "algorithms/scc/scc.h"
 #include "algorithms/sssp/sssp.h"
+#include <chrono>
+#include <unordered_set>
+
 #include "algorithms/toposort/toposort.h"
+#include "pasgal/error.h"
 #include "pasgal/options.h"
 
 namespace pasgal {
@@ -56,6 +60,37 @@ SteppingParams stepping_params(const AlgoOptions& opt) {
 
 }  // namespace
 
+// --- batch source validation -------------------------------------------------
+
+void check_batch_sources(std::span<const VertexId> sources, std::size_t n) {
+  if (sources.empty()) {
+    throw Error(ErrorCategory::kUsage, "batch source list is empty");
+  }
+  if (sources.size() > kMaxBatchSources) {
+    throw Error(ErrorCategory::kUsage,
+                "batch holds " + std::to_string(sources.size()) +
+                    " sources; the bit-parallel kernels carry one source per "
+                    "bit, max " +
+                    std::to_string(kMaxBatchSources));
+  }
+  std::unordered_set<VertexId> seen;
+  seen.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    VertexId s = sources[i];
+    if (static_cast<std::size_t>(s) >= n) {
+      throw Error(ErrorCategory::kUsage,
+                  "batch source " + std::to_string(s) + " (entry " +
+                      std::to_string(i) + ") out of range for graph with " +
+                      std::to_string(n) + " vertices");
+    }
+    if (!seen.insert(s).second) {
+      throw Error(ErrorCategory::kUsage,
+                  "duplicate batch source " + std::to_string(s) + " (entry " +
+                      std::to_string(i) + ")");
+    }
+  }
+}
+
 // --- BFS ---------------------------------------------------------------------
 
 RunReport<std::vector<std::uint32_t>> seq_bfs(const Graph& g,
@@ -93,6 +128,37 @@ RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
       opt, [&](Tracer* t) { return pasgal_bfs(g, gt, opt.source, p, t); });
 }
 
+BatchReport<std::vector<std::uint32_t>> ms_bfs(const Graph& g, const Graph& gt,
+                                               const BatchOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
+  check_batch_sources(opt.sources, g.num_vertices());
+  MsBfsParams p;
+  p.dense_threshold_den = opt.algo.dense_threshold_den;
+  p.use_dense = opt.algo.use_dense;
+  p.cancel = opt.algo.cancel;
+  Tracer local;
+  Tracer* tracer = opt.algo.tracer != nullptr ? opt.algo.tracer : &local;
+  tracer->reset();
+  auto start = std::chrono::steady_clock::now();
+  auto dists = ms_bfs(g, gt, opt.sources, p, tracer);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  BatchReport<std::vector<std::uint32_t>> report;
+  report.seconds = seconds;
+  report.telemetry = tracer->aggregate();
+  report.per_source.resize(dists.size());
+  // One shared sweep advanced every source; a slice's cost is its amortized
+  // share of the batch wall (see BatchReport in options.h).
+  double amortized = seconds / static_cast<double>(dists.size());
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    report.per_source[i].output = std::move(dists[i]);
+    report.per_source[i].seconds = amortized;
+  }
+  return report;
+}
+
 // --- SSSP --------------------------------------------------------------------
 
 RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
@@ -115,6 +181,35 @@ RunReport<std::vector<Dist>> stepping_sssp(
   SteppingParams p = stepping_params(opt);
   return run_traced(
       opt, [&](Tracer* t) { return stepping_sssp(g, opt.source, p, t); });
+}
+
+BatchReport<std::vector<Dist>> batch_sssp(const WeightedGraph<std::uint32_t>& g,
+                                          const BatchOptions& opt) {
+  g.ensure_validated();
+  check_batch_sources(opt.sources, g.num_vertices());
+  SteppingParams p = stepping_params(opt.algo);
+  Tracer local;
+  Tracer* tracer = opt.algo.tracer != nullptr ? opt.algo.tracer : &local;
+  tracer->reset();
+  BatchReport<std::vector<Dist>> report;
+  report.per_source.resize(opt.sources.size());
+  auto batch_start = std::chrono::steady_clock::now();
+  // No bit-parallel kernel for weighted distances: run the stepping framework
+  // once per source under the shared tracer (rounds accumulate monotonically,
+  // so the batch telemetry validates like one long run) and the shared
+  // CancelToken (expiry unwinds the whole batch with kTimeout).
+  for (std::size_t i = 0; i < opt.sources.size(); ++i) {
+    auto start = std::chrono::steady_clock::now();
+    report.per_source[i].output = stepping_sssp(g, opt.sources[i], p, tracer);
+    report.per_source[i].seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - batch_start)
+                       .count();
+  report.telemetry = tracer->aggregate();
+  return report;
 }
 
 // --- SCC ---------------------------------------------------------------------

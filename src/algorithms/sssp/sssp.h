@@ -86,4 +86,14 @@ RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
 RunReport<std::vector<Dist>> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
                                            const AlgoOptions& opt);
 
+// Batched-SSSP landmark wrapper over the same batch surface as ms_bfs
+// (bfs.h): validates the source list (check_batch_sources, typed kUsage),
+// then runs the stepping framework once per source under one shared tracer
+// and the shared CancelToken — an expired token unwinds the whole batch with
+// kTimeout. Weighted distances have no bit-parallel kernel, so the per-source
+// slices carry real wall times and the batch telemetry accumulates every
+// run's rounds.
+BatchReport<std::vector<Dist>> batch_sssp(const WeightedGraph<std::uint32_t>& g,
+                                          const BatchOptions& opt);
+
 }  // namespace pasgal

@@ -2,6 +2,11 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "pasgal/options.h"
 
 namespace pasgal::cli {
 
@@ -26,6 +31,72 @@ long long parse_flag_int(const std::string& flag, const char* value,
                          long long min_value, long long max_value) {
   return parse_int(value, "flag " + flag, min_value, max_value,
                    ErrorCategory::kUsage);
+}
+
+std::vector<std::uint32_t> parse_sources(const std::string& text,
+                                         bool allow_file) {
+  std::string list = text;
+  bool from_file = false;
+  if (!text.empty() && text[0] == '@') {
+    from_file = true;
+    if (!allow_file) {
+      throw Error(ErrorCategory::kUsage,
+                  "sources: @file references are not accepted here");
+    }
+    std::string path = text.substr(1);
+    std::ifstream in(path);
+    if (!in) {
+      throw Error(ErrorCategory::kIo, "cannot open sources file", path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+      throw Error(ErrorCategory::kIo, "read failure on sources file", path);
+    }
+    list = buf.str();
+    // Files separate ids with whitespace or commas; normalize to the inline
+    // comma form so one tokenizer below serves both.
+    for (char& c : list) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = ',';
+    }
+  }
+
+  // kInvalidVertex (2^32 - 1) is the library's sentinel (hash-bag empty
+  // slots, unfilled edge_map packs), so the largest usable id is 2^32 - 2.
+  constexpr long long kMaxVertex = 0xFFFFFFFELL;
+  std::vector<std::uint32_t> sources;
+  std::unordered_set<std::uint32_t> dedup;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) {
+      // Whitespace normalization leaves blank runs in file input; an inline
+      // list with a blank entry ("0,,5" or a trailing comma) is malformed.
+      if (from_file) continue;
+      throw Error(ErrorCategory::kUsage, "sources: empty entry in '" + text +
+                                             "' (expected v0,v1,...)");
+    }
+    long long v = parse_int(token, "sources entry", 0, kMaxVertex,
+                            ErrorCategory::kUsage);
+    auto id = static_cast<std::uint32_t>(v);
+    if (!dedup.insert(id).second) {
+      throw Error(ErrorCategory::kUsage,
+                  "sources: duplicate vertex " + token);
+    }
+    sources.push_back(id);
+    if (sources.size() > kMaxBatchSources) {
+      throw Error(ErrorCategory::kUsage,
+                  "sources: more than " + std::to_string(kMaxBatchSources) +
+                      " entries (one source per bit of the batch mask)");
+    }
+  }
+  if (sources.empty()) {
+    throw Error(ErrorCategory::kUsage, "sources: empty list");
+  }
+  return sources;
 }
 
 long long Spec::required(std::size_t i, const char* what, long long min_value,
@@ -106,7 +177,7 @@ OptionSet& OptionSet::text(std::string name, std::string* target,
 }
 
 OptionSet& OptionSet::choice(std::string name, std::string* target,
-                             std::vector<std::string> allowed) {
+                             std::vector<std::string> allowed, bool* seen) {
   std::string rendered;
   for (std::size_t i = 0; i < allowed.size(); ++i) {
     if (i) rendered += '|';
@@ -114,11 +185,12 @@ OptionSet& OptionSet::choice(std::string name, std::string* target,
   }
   options_.push_back(
       {std::move(name), true, rendered,
-       [target, allowed = std::move(allowed), rendered](
+       [target, seen, allowed = std::move(allowed), rendered](
            const std::string& flag, const char* value) {
          for (const std::string& a : allowed) {
            if (a == value) {
              *target = value;
+             if (seen != nullptr) *seen = true;
              return;
            }
          }

@@ -9,6 +9,7 @@
 // (kUsage), which run_app() maps to exit code 2.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,6 +30,19 @@ long long parse_int(const std::string& text, const std::string& what,
 // Value of a command-line flag (usage errors, exit code 2).
 long long parse_flag_int(const std::string& flag, const char* value,
                          long long min_value, long long max_value);
+
+// --- batch source lists ------------------------------------------------------
+
+// Parses a `--sources` / `sources=` value into a vertex list: either an
+// inline comma-separated list ("0,17,42") or, when `allow_file` is set, a
+// `@file` reference whose contents are whitespace- or comma-separated vertex
+// ids. Malformed entries, an empty list, duplicates, and more than
+// kMaxBatchSources entries are typed kUsage errors (an unreadable @file is
+// kIo). Vertices are range-checked against the graph later, by
+// check_batch_sources — this layer does not know n. The server passes
+// allow_file=false: a remote peer must not name paths on the serving host.
+std::vector<std::uint32_t> parse_sources(const std::string& text,
+                                         bool allow_file = true);
 
 // --- generator spec parsing --------------------------------------------------
 
@@ -118,8 +132,10 @@ class OptionSet {
 
   // String flag restricted to a closed set: `-a pasgal|gbbs|...`. The check
   // runs at parse time, so drivers no longer validate the variant by hand.
+  // `seen` works as for integer(): set when the flag was given explicitly
+  // (batch mode must distinguish a default algorithm from a user choice).
   OptionSet& choice(std::string name, std::string* target,
-                    std::vector<std::string> allowed);
+                    std::vector<std::string> allowed, bool* seen = nullptr);
 
   // Applies flags argv[first..). Throws kUsage on unknown flags, missing or
   // out-of-range values, and disallowed choice values.

@@ -9,8 +9,13 @@
 //
 // Sparse ("push") mode maps over the frontier's out-edges and collects newly
 // activated vertices. Dense ("pull") mode iterates all eligible vertices and
-// scans their in-neighbours, breaking early on activation. The mode is chosen
-// by the frontier's size + out-degree sum against m / kDenseThresholdDen.
+// scans their in-neighbours. The mode is chosen by the frontier's size +
+// out-degree sum against m / kDenseThresholdDen.
+//
+// Both directions are also exposed as named entry points (edge_map_sparse /
+// edge_map_dense) for callers that make their own direction decision — the
+// bit-parallel ms_bfs pushes sparse rounds through a hash bag but reuses the
+// dense pull here with `pull_exhaustive` set.
 #pragma once
 
 #include <cstdint>
@@ -31,14 +36,22 @@ struct EdgeMapOptions {
   // Cooperative cancellation, checked once at edge_map entry — the round
   // boundary — from the round master. Null disables the check.
   const CancelToken* cancel = nullptr;
+  // Dense pull normally stops scanning a vertex's in-edges at the first
+  // activation — correct when one hit fully decides the vertex (single-
+  // source BFS: the level is the level). Mask-accumulating traversals
+  // (ms_bfs: a vertex gathers source bits from *every* in-neighbour in the
+  // frontier, and stopping early would assign later arrivals a wrong, larger
+  // level) must keep scanning until cond() reports the vertex saturated.
+  bool pull_exhaustive = false;
 };
 
-// `g` supplies out-edges (push); `gt` supplies in-edges for the pull
-// direction (pass g itself for symmetric graphs).
-template <typename Update, typename UpdateSeq, typename Cond>
-VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
-                      Update update, UpdateSeq update_seq, Cond cond,
-                      const EdgeMapOptions& opt = {}, RunStats* stats = nullptr) {
+// Dense ("pull") direction: iterate all cond()-eligible vertices, scan their
+// in-neighbours (gt supplies in-edges; pass g itself for symmetric graphs).
+template <typename UpdateSeq, typename Cond>
+VertexSubset edge_map_dense(const Graph& g, const Graph& gt,
+                            VertexSubset& frontier, UpdateSeq update_seq,
+                            Cond cond, const EdgeMapOptions& opt = {},
+                            RunStats* stats = nullptr) {
   // Unchecked indexing below (neighbors(), in_frontier[u]) requires in-range
   // targets; un-deep-validated mmap storages are checked once here (a
   // single atomic load afterwards).
@@ -46,42 +59,45 @@ VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
   gt.ensure_validated();
   if (opt.cancel != nullptr) opt.cancel->check("edge_map round boundary");
   std::size_t n = g.num_vertices();
-  EdgeId frontier_work = frontier.out_degree_sum(g) + frontier.size();
-  bool go_dense = opt.allow_dense &&
-                  frontier_work > g.num_edges() / opt.dense_threshold_den;
-  // Record the direction decision; the round master's end_round() consumes it.
-  if (stats) {
-    stats->set_round_kind(go_dense ? RoundKind::kDense : RoundKind::kSparse);
-  }
-
-  if (go_dense) {
-    frontier.to_dense();
-    const auto& in_frontier = frontier.dense_mask();
-    std::vector<std::uint8_t> next(n, 0);
-    // Activations are counted as they happen, so the resulting subset's
-    // cardinality is known without VertexSubset::dense's O(n) recount.
-    std::size_t activated = reduce_indexed<std::size_t>(
-        n, 0, std::plus<std::size_t>{}, [&](std::size_t vi) -> std::size_t {
-          VertexId v = static_cast<VertexId>(vi);
-          if (!cond(v)) return 0;
-          std::uint64_t scanned = 0;
-          std::size_t hit = 0;
-          for (VertexId u : gt.neighbors(v)) {
-            ++scanned;
-            if (in_frontier[u] && update_seq(u, v)) {
-              next[vi] = 1;
-              hit = 1;
-              break;  // activated; stop scanning in-edges
-            }
-            if (!cond(v)) break;
+  if (stats) stats->set_round_kind(RoundKind::kDense);
+  frontier.to_dense();
+  const auto& in_frontier = frontier.dense_mask();
+  std::vector<std::uint8_t> next(n, 0);
+  // Activations are counted as they happen, so the resulting subset's
+  // cardinality is known without VertexSubset::dense's O(n) recount.
+  std::size_t activated = reduce_indexed<std::size_t>(
+      n, 0, std::plus<std::size_t>{}, [&](std::size_t vi) -> std::size_t {
+        VertexId v = static_cast<VertexId>(vi);
+        if (!cond(v)) return 0;
+        std::uint64_t scanned = 0;
+        std::size_t hit = 0;
+        for (VertexId u : gt.neighbors(v)) {
+          ++scanned;
+          if (in_frontier[u] && update_seq(u, v)) {
+            next[vi] = 1;
+            hit = 1;
+            if (!opt.pull_exhaustive) break;  // activated; one hit decides v
           }
-          if (stats) stats->add_edges(scanned);
-          return hit;
-        });
-    if (stats) stats->add_visits(n);
-    return VertexSubset::dense(std::move(next), activated);
-  }
+          if (!cond(v)) break;  // saturated; nothing more to gather
+        }
+        if (stats) stats->add_edges(scanned);
+        return hit;
+      });
+  if (stats) stats->add_visits(n);
+  return VertexSubset::dense(std::move(next), activated);
+}
 
+// Sparse ("push") direction: map over the frontier's out-edges, collect
+// newly activated vertices via a two-phase pack.
+template <typename Update, typename Cond>
+VertexSubset edge_map_sparse(const Graph& g, VertexSubset& frontier,
+                             Update update, Cond cond,
+                             const EdgeMapOptions& opt = {},
+                             RunStats* stats = nullptr) {
+  g.ensure_validated();
+  if (opt.cancel != nullptr) opt.cancel->check("edge_map round boundary");
+  std::size_t n = g.num_vertices();
+  if (stats) stats->set_round_kind(RoundKind::kSparse);
   frontier.to_sparse();
   const auto& verts = frontier.sparse_vertices();
   // Two-phase pack: count activations per frontier vertex, then fill.
@@ -108,6 +124,22 @@ VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
   auto next = filter(std::span<const VertexId>(out),
                      [](VertexId v) { return v != kInvalidVertex; });
   return VertexSubset::sparse(n, std::move(next));
+}
+
+// Direction-optimizing wrapper: `g` supplies out-edges (push); `gt` supplies
+// in-edges for the pull direction (pass g itself for symmetric graphs).
+template <typename Update, typename UpdateSeq, typename Cond>
+VertexSubset edge_map(const Graph& g, const Graph& gt, VertexSubset& frontier,
+                      Update update, UpdateSeq update_seq, Cond cond,
+                      const EdgeMapOptions& opt = {}, RunStats* stats = nullptr) {
+  g.ensure_validated();
+  EdgeId frontier_work = frontier.out_degree_sum(g) + frontier.size();
+  bool go_dense = opt.allow_dense &&
+                  frontier_work > g.num_edges() / opt.dense_threshold_den;
+  if (go_dense) {
+    return edge_map_dense(g, gt, frontier, update_seq, cond, opt, stats);
+  }
+  return edge_map_sparse(g, frontier, update, cond, opt, stats);
 }
 
 // Convenience overload when the same update works in both modes.

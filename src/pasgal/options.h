@@ -11,11 +11,18 @@
 // the output with the run's wall time and aggregated telemetry. The legacy
 // `(..., Params, RunStats*)` signatures remain as thin compatibility
 // wrappers around the same implementations.
+//
+// Batched multi-source queries use the same shape one level up:
+// `BatchOptions` (a source list plus the shared AlgoOptions) in,
+// `BatchReport<T>` (per-source RunReport slices plus batch-level wall time
+// and telemetry) out. See ms_bfs (bfs.h) and batch_sssp (sssp.h).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "graphs/graph.h"
 #include "pasgal/cancel.h"
@@ -76,6 +83,49 @@ struct RunReport {
   double seconds = 0;
   RunTelemetry telemetry;
 };
+
+// --- batched multi-source queries -------------------------------------------
+//
+// A serving workload is dominated by many small queries on one pinned graph;
+// the batch surface amortizes them. The bit-parallel kernels advance one
+// source per bit of a machine word, so a batch holds at most 64 sources.
+
+inline constexpr std::size_t kMaxBatchSources = 64;  // one source per bit
+
+// One batched query: up to kMaxBatchSources distinct sources advanced
+// together. Tuning knobs, the shared CancelToken, and the optional
+// caller-owned tracer ride in `algo` (its single-source `source` field is
+// ignored — the batch is the source set).
+struct BatchOptions {
+  std::vector<VertexId> sources;
+  AlgoOptions algo;
+};
+
+// Output of one batched run: one RunReport slice per source, in the order
+// the sources were given, plus batch-level wall time and telemetry. A
+// bit-parallel batch advances every source through one shared frontier
+// sweep, so a slice's `seconds` is the amortized share (batch wall / batch
+// size) — the per-query cost a serving system actually pays — and its
+// telemetry is empty; the shared sweep's rounds live in the batch-level
+// `telemetry`. Per-source wrappers (batch_sssp) fill real per-slice walls.
+template <typename T>
+struct BatchReport {
+  std::vector<RunReport<T>> per_source;
+  double seconds = 0;
+  RunTelemetry telemetry;
+
+  std::size_t batch_size() const { return per_source.size(); }
+  double qps() const {
+    return seconds > 0 ? static_cast<double>(per_source.size()) / seconds : 0;
+  }
+};
+
+// Validates a batch source list against a graph with `n` vertices:
+// non-empty, at most kMaxBatchSources entries, duplicate-free, every vertex
+// < n. Throws a typed kUsage Error naming the offending entry — the shared
+// contract for the drivers' --sources flag, the server's sources= key, and
+// the batch entry points themselves (implemented in algorithms/run_api.cpp).
+void check_batch_sources(std::span<const VertexId> sources, std::size_t n);
 
 // Shared harness for the run_api entry points: route recording through the
 // caller's tracer (or a run-local one), time the body, aggregate at the end.

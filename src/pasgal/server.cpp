@@ -297,13 +297,36 @@ std::string Server::handle_request(const std::string& line) {
       check_vocabulary(req, {"graph"}, {"pin"});
       out = do_open(require_graph(req), req.flags.count("pin") != 0);
     } else if (req.cmd == "bfs" || req.cmd == "sssp") {
-      check_vocabulary(req, {"graph", "source", "algo", "deadline_ms"}, {});
-      std::string algo = req.cmd == "bfs" ? "pasgal" : "rho";
-      if (auto it = req.kv.find("algo"); it != req.kv.end()) algo = it->second;
-      out = do_query(req.cmd, require_graph(req),
-                     kv_int(req, "source", 0, (1LL << 32) - 1), algo,
-                     kv_int(req, "deadline_ms", opts_.default_deadline_ms,
-                            1LL << 40));
+      check_vocabulary(req, {"graph", "source", "sources", "algo",
+                             "deadline_ms"}, {});
+      if (auto batch = req.kv.find("sources"); batch != req.kv.end()) {
+        if (req.kv.count("source") != 0) {
+          throw Error(ErrorCategory::kUsage,
+                      req.cmd + ": source= conflicts with sources= (give one "
+                                "vertex or a batch)");
+        }
+        // allow_file=false: a remote peer must not name paths on the serving
+        // host. Oversized lists and duplicates are typed kUsage errors here,
+        // never silently truncated.
+        std::vector<std::uint32_t> sources =
+            cli::parse_sources(batch->second, /*allow_file=*/false);
+        std::string algo = req.cmd == "bfs" ? "ms" : "rho";
+        if (auto it = req.kv.find("algo"); it != req.kv.end()) {
+          algo = it->second;
+        }
+        out = do_batch(req.cmd, require_graph(req), sources, algo,
+                       kv_int(req, "deadline_ms", opts_.default_deadline_ms,
+                              1LL << 40));
+      } else {
+        std::string algo = req.cmd == "bfs" ? "pasgal" : "rho";
+        if (auto it = req.kv.find("algo"); it != req.kv.end()) {
+          algo = it->second;
+        }
+        out = do_query(req.cmd, require_graph(req),
+                       kv_int(req, "source", 0, (1LL << 32) - 1), algo,
+                       kv_int(req, "deadline_ms", opts_.default_deadline_ms,
+                              1LL << 40));
+      }
     } else if (req.cmd == "stats") {
       check_vocabulary(req, {}, {});
       out = do_stats();
@@ -456,6 +479,53 @@ std::string Server::do_query(const std::string& cmd, const std::string& path,
   MetricsDoc doc("sssp", algo, path, wg.num_vertices(), wg.num_edges());
   doc.set_param("source", source);
   if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
+  doc.add_trial(report.seconds, report.telemetry);
+  return doc.to_json();
+}
+
+std::string Server::do_batch(const std::string& cmd, const std::string& path,
+                             const std::vector<std::uint32_t>& sources,
+                             const std::string& algo,
+                             std::uint64_t deadline_ms) {
+  ensure_open(path);
+
+  CancelToken token;
+  if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
+
+  BatchOptions bopt;
+  bopt.sources = sources;
+  bopt.algo.cancel = &token;
+
+  std::lock_guard<std::mutex> exec(exec_mu_);
+
+  if (cmd == "bfs") {
+    if (algo != "ms") {
+      throw Error(ErrorCategory::kUsage,
+                  "bfs: algo '" + algo +
+                      "' has no batch mode (sources= runs the bit-parallel "
+                      "ms kernel)");
+    }
+    Graph g = read_pgr(path);  // registry hit: shares the retained mapping
+    Graph gt = g.transpose();
+    // ms_bfs range-checks the sources against this graph (typed kUsage).
+    BatchReport<std::vector<std::uint32_t>> report = ms_bfs(g, gt, bopt);
+    MetricsDoc doc("bfs", algo, path, g.num_vertices(), g.num_edges());
+    if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
+    doc.set_batch(sources, report.seconds);
+    doc.add_trial(report.seconds, report.telemetry);
+    return doc.to_json();
+  }
+
+  if (algo != "rho" && algo != "delta") {
+    throw Error(ErrorCategory::kUsage,
+                "sssp: unknown algo '" + algo + "' (expected rho|delta)");
+  }
+  WeightedGraph<std::uint32_t> wg = read_weighted_pgr(path);
+  bopt.algo.sssp_delta_mode = algo == "delta";
+  BatchReport<std::vector<Dist>> report = batch_sssp(wg, bopt);
+  MetricsDoc doc("sssp", algo, path, wg.num_vertices(), wg.num_edges());
+  if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
+  doc.set_batch(sources, report.seconds);
   doc.add_trial(report.seconds, report.telemetry);
   return doc.to_json();
 }

@@ -32,6 +32,19 @@
 //                                      -> pasgal.metrics v1 JSON (one line)
 //   sssp graph=<p> source=<v> [algo=rho|delta] [deadline_ms=<n>]
 //                                      -> pasgal.metrics v1 JSON (one line)
+//   bfs graph=<p> sources=<v0,v1,...> [deadline_ms=<n>]
+//                                      -> batched: one ms_bfs sweep advances
+//                                         every source; the JSON document
+//                                         carries a "batch" section. Max 64
+//                                         sources, duplicates rejected with
+//                                         a typed [usage] error (never
+//                                         silently truncated). algo= accepts
+//                                         only "ms" here.
+//   sssp graph=<p> sources=<v0,v1,...> [algo=rho|delta] [deadline_ms=<n>]
+//                                      -> batched landmark run, same rules
+//                                         (the deadline covers the whole
+//                                         batch). sources= conflicts with
+//                                         source=; @file lists are CLI-only.
 //   stats                              -> ok entries=... resident_bytes=...
 //   evict graph=<p>                    -> ok evicted ...
 //   shutdown                           -> ok draining   (then run() returns)
@@ -118,6 +131,12 @@ class Server {
   std::string do_query(const std::string& cmd, const std::string& path,
                        std::uint64_t source, const std::string& algo,
                        std::uint64_t deadline_ms);
+  // Batched form of do_query (sources= on bfs/sssp): runs ms_bfs or
+  // batch_sssp over the validated source list and returns one metrics
+  // document with a "batch" section.
+  std::string do_batch(const std::string& cmd, const std::string& path,
+                       const std::vector<std::uint32_t>& sources,
+                       const std::string& algo, std::uint64_t deadline_ms);
   std::string do_stats();
   std::string do_evict(const std::string& path);
 

@@ -5,6 +5,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <unordered_set>
+
+// For kMaxBatchSources (batch schema validation). options.h includes this
+// header, so the dependency may only run in this direction from the .cpp.
+#include "pasgal/options.h"
 
 namespace pasgal {
 
@@ -523,6 +528,26 @@ void MetricsDoc::add_trial(double seconds, const RunTelemetry& telemetry) {
   trials_.push_back({seconds, telemetry});
 }
 
+void MetricsDoc::set_batch(const std::vector<std::uint32_t>& sources,
+                           double batch_seconds) {
+  std::string out = "{";
+  append_kv(out, "size", static_cast<std::uint64_t>(sources.size()));
+  out += ",\"sources\":[";
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i) out += ',';
+    append_u64(out, sources[i]);
+  }
+  out += "],";
+  out += "\"batch_seconds\":";
+  append_double(out, batch_seconds);
+  out += ",\"qps\":";
+  append_double(out, batch_seconds > 0 && !sources.empty()
+                         ? static_cast<double>(sources.size()) / batch_seconds
+                         : 0.0);
+  out += '}';
+  batch_json_ = std::move(out);
+}
+
 std::string MetricsDoc::to_json() const {
   std::string out = "{\"schema\":\"";
   out += kMetricsSchema;
@@ -548,7 +573,12 @@ std::string MetricsDoc::to_json() const {
     out += "\":";
     out += params_[i].second;
   }
-  out += "},\"trials\":[";
+  out += '}';
+  if (!batch_json_.empty()) {
+    out += ",\"batch\":";
+    out += batch_json_;
+  }
+  out += ",\"trials\":[";
   for (std::size_t i = 0; i < trials_.size(); ++i) {
     if (i) out += ',';
     out += "{\"seconds\":";
@@ -773,6 +803,43 @@ Status validate_metrics(const json::Value& doc) {
       return schema_fail(
           "params: registry_hits + registry_misses > serve_opens");
     }
+  }
+
+  // Batched multi-source documents carry a top-level "batch" object; when
+  // present it must be self-consistent (drivers emit it via set_batch).
+  if (const json::Value* batch = doc.find("batch")) {
+    if (!batch->is_object()) return schema_fail("batch is not an object");
+    const json::Value* size =
+        require(*batch, "size", json::Value::Kind::kNumber, st, "batch");
+    const json::Value* sources =
+        require(*batch, "sources", json::Value::Kind::kArray, st, "batch");
+    const json::Value* batch_seconds = require(
+        *batch, "batch_seconds", json::Value::Kind::kNumber, st, "batch");
+    const json::Value* qps =
+        require(*batch, "qps", json::Value::Kind::kNumber, st, "batch");
+    if (!st.ok()) return st;
+    if (size->number < 1 ||
+        size->number > static_cast<double>(kMaxBatchSources)) {
+      return schema_fail("batch.size out of range [1, " +
+                         std::to_string(kMaxBatchSources) + "]");
+    }
+    if (sources->array.size() != static_cast<std::size_t>(size->number)) {
+      return schema_fail("batch.sources length != batch.size");
+    }
+    std::unordered_set<std::uint64_t> dedup;
+    for (const json::Value& s : sources->array) {
+      if (!s.is_number() || s.number < 0) {
+        return schema_fail("batch.sources entries must be non-negative "
+                           "numbers");
+      }
+      if (!dedup.insert(static_cast<std::uint64_t>(s.number)).second) {
+        return schema_fail("batch.sources contains duplicates");
+      }
+    }
+    if (batch_seconds->number < 0) {
+      return schema_fail("batch.batch_seconds negative");
+    }
+    if (qps->number < 0) return schema_fail("batch.qps negative");
   }
 
   for (std::size_t i = 0; i < trials->array.size(); ++i) {

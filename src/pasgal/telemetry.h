@@ -259,6 +259,15 @@ class MetricsDoc {
 
   void add_trial(double seconds, const RunTelemetry& telemetry);
 
+  // Batched multi-source run: records the source list and the shared sweep's
+  // wall time, emitted as a top-level "batch" object
+  //   {"size":k,"sources":[...],"batch_seconds":s,"qps":k/s}
+  // between params and trials. One document describes one batch; trials stay
+  // the per-repeat batch walls. Plain uint32 (not VertexId) so this header
+  // stays below graph.h in the include order.
+  void set_batch(const std::vector<std::uint32_t>& sources,
+                 double batch_seconds);
+
   std::size_t num_trials() const { return trials_.size(); }
   std::string to_json() const;
 
@@ -267,6 +276,7 @@ class MetricsDoc {
   std::uint64_t n_, m_;
   int workers_;
   std::vector<std::pair<std::string, std::string>> params_;  // name -> encoded
+  std::string batch_json_;  // encoded "batch" object; empty = single-source
   struct Trial {
     double seconds;
     RunTelemetry telemetry;

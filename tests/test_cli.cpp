@@ -2,6 +2,8 @@
 // OptionSet declarations shared by all drivers.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "pasgal/cli.h"
 
 namespace pasgal::cli {
@@ -85,6 +87,57 @@ TEST(OptionSet, UsageListsEveryFlag) {
   EXPECT_NE(u.find("[-n <n>]"), std::string::npos);
   EXPECT_NE(u.find("[--check]"), std::string::npos);
   EXPECT_NE(u.find("a|b"), std::string::npos);
+}
+
+ErrorCategory category_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const Error& e) {
+    return e.category();
+  }
+  ADD_FAILURE() << "no Error thrown";
+  return ErrorCategory::kIo;  // unreachable on a passing test
+}
+
+TEST(ParseSources, AcceptsInlineLists) {
+  EXPECT_EQ(parse_sources("7"), (std::vector<std::uint32_t>{7}));
+  EXPECT_EQ(parse_sources("0,5,9,100"), (std::vector<std::uint32_t>{0, 5, 9, 100}));
+  // Order is the batch's bit order: preserved, not sorted.
+  EXPECT_EQ(parse_sources("9,5"), (std::vector<std::uint32_t>{9, 5}));
+  // Largest addressable vertex (kInvalidVertex itself is reserved).
+  EXPECT_EQ(parse_sources("4294967294"),
+            (std::vector<std::uint32_t>{4294967294u}));
+}
+
+TEST(ParseSources, InlineUsageErrors) {
+  auto usage = [](const std::string& text) {
+    return category_of([&] { parse_sources(text); });
+  };
+  EXPECT_EQ(usage(""), ErrorCategory::kUsage);
+  EXPECT_EQ(usage("1,,2"), ErrorCategory::kUsage);      // empty entry
+  EXPECT_EQ(usage("1,2,1"), ErrorCategory::kUsage);     // duplicate
+  EXPECT_EQ(usage("1,two"), ErrorCategory::kUsage);     // malformed
+  EXPECT_EQ(usage("-1"), ErrorCategory::kUsage);        // negative
+  EXPECT_EQ(usage("4294967295"), ErrorCategory::kUsage);  // reserved sentinel
+  std::string too_many = "0";
+  for (int i = 1; i <= 64; ++i) too_many += "," + std::to_string(i);
+  EXPECT_EQ(usage(too_many), ErrorCategory::kUsage);  // 65 entries
+}
+
+TEST(ParseSources, FileListsAndFileErrors) {
+  std::string path = ::testing::TempDir() + "/sources.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  // File input tolerates whitespace separators and blank runs.
+  std::fputs("3 1\n\n2,8\n", f);
+  std::fclose(f);
+  EXPECT_EQ(parse_sources("@" + path), (std::vector<std::uint32_t>{3, 1, 2, 8}));
+
+  EXPECT_EQ(category_of([&] { parse_sources("@/nonexistent/sources.txt"); }),
+            ErrorCategory::kIo);
+  // The server passes allow_file=false: a remote peer must not name paths.
+  EXPECT_EQ(category_of([&] { parse_sources("@" + path, false); }),
+            ErrorCategory::kUsage);
 }
 
 TEST(CommonOptions, DeclaresSharedFlags) {

@@ -186,6 +186,57 @@ TEST_F(ServerTest, SsspOnWeightedGraphReturnsMetrics) {
   EXPECT_TRUE(is_metrics_json(resp)) << resp;
 }
 
+TEST_F(ServerTest, BatchQueriesReturnBatchMetrics) {
+  std::string path = write_graph("batch.pgr");
+  std::string wpath = write_weighted_graph("wbatch.pgr");
+  start_server();
+
+  std::string bfs = request_once("bfs graph=" + path + " sources=0,5,9,63");
+  EXPECT_TRUE(is_metrics_json(bfs)) << bfs;
+  EXPECT_NE(bfs.find("\"batch\":"), std::string::npos) << bfs;
+  EXPECT_NE(bfs.find("\"size\":4"), std::string::npos) << bfs;
+
+  std::string sssp =
+      request_once("sssp graph=" + wpath + " sources=1,2,3 algo=delta");
+  EXPECT_TRUE(is_metrics_json(sssp)) << sssp;
+  EXPECT_NE(sssp.find("\"batch\":"), std::string::npos) << sssp;
+}
+
+TEST_F(ServerTest, BatchContractViolationsGetTypedUsageErrors) {
+  std::string path = write_graph("batch_bad.pgr");
+  start_server();
+
+  // Duplicates are rejected, never silently deduplicated.
+  EXPECT_EQ(request_once("bfs graph=" + path + " sources=5,5")
+                .rfind("error [usage]", 0),
+            0u);
+  // More than 64 sources cannot fit the bit mask; never truncated.
+  std::string big = "0";
+  for (int i = 1; i <= 64; ++i) big += "," + std::to_string(i);
+  EXPECT_EQ(request_once("bfs graph=" + path + " sources=" + big)
+                .rfind("error [usage]", 0),
+            0u);
+  // sources= conflicts with source=.
+  EXPECT_EQ(request_once("bfs graph=" + path + " source=0 sources=1,2")
+                .rfind("error [usage]", 0),
+            0u);
+  // Only the bit-parallel kernel batches bfs.
+  EXPECT_EQ(request_once("bfs graph=" + path + " sources=1,2 algo=pasgal")
+                .rfind("error [usage]", 0),
+            0u);
+  // @file lists are CLI-only: a remote peer must not name host paths.
+  EXPECT_EQ(request_once("bfs graph=" + path + " sources=@/etc/hostname")
+                .rfind("error [usage]", 0),
+            0u);
+  // Out-of-range batch entry (the grid has 256 vertices).
+  EXPECT_EQ(request_once("bfs graph=" + path + " sources=1,99999")
+                .rfind("error [usage]", 0),
+            0u);
+  // After all that abuse the batch path still answers.
+  EXPECT_TRUE(
+      is_metrics_json(request_once("bfs graph=" + path + " sources=0,1")));
+}
+
 TEST_F(ServerTest, MultipleRequestsOnOneConnection) {
   std::string path = write_graph("multi.pgr");
   start_server();
