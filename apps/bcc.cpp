@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
       }
     }
     apps::record_load(*doc, loaded);
+    apps::record_shard(*doc, loaded.graph);
     serve.record(*doc);
     apps::finish_metrics(common, *doc);
     return 0;

@@ -161,6 +161,7 @@ int main(int argc, char** argv) {
     // The recorded load is the final open: warm when serving, so the
     // document shows the steady-state cost (0 new bytes on a registry hit).
     apps::record_load(*doc, loaded);
+    apps::record_shard(*doc, loaded.graph);
     serve.record(*doc);
     apps::finish_metrics(common, *doc);
     return 0;

@@ -60,6 +60,50 @@ inline bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
 }
 
+// Applies the per-run resource knobs before any load: the --mem-limit-mb
+// ceiling override (kUsage if PASGAL_MEM_LIMIT_MB is also set — one knob,
+// two owners) runs first so the shard spec and every footprint check see
+// the effective ceiling.
+inline void apply_mem_limit(const CommonOptions& common) {
+  if (common.mem_limit_mb > 0) {
+    set_memory_limit_mb(static_cast<unsigned long long>(common.mem_limit_mb));
+  }
+}
+
+// Parses --shard-mb into a PgrShardSpec, rejecting the combinations that
+// cannot honor the bounded-residency contract.
+inline PgrShardSpec shard_spec(const std::string& spec,
+                               const CommonOptions& common) {
+  PgrShardSpec out;
+  if (common.shard_mb.empty()) return out;
+  if (!ends_with(spec, ".pgr")) {
+    throw Error(ErrorCategory::kUsage,
+                "--shard-mb requires a .pgr input (got '" + spec +
+                    "'): sharded execution windows a mapped file");
+  }
+  if (common.load_mode == "copy") {
+    throw Error(ErrorCategory::kUsage,
+                "--shard-mb conflicts with --load copy: sharding windows "
+                "the mapped file; a heap copy has no window");
+  }
+  if (common.validate) {
+    throw Error(ErrorCategory::kUsage,
+                "--shard-mb conflicts with --validate: checksumming every "
+                "section byte defeats the bounded residency window (sharded "
+                "opens range-check shard-at-a-time instead)");
+  }
+  if (common.shard_mb == "auto") {
+    out.auto_shard = true;
+    return out;
+  }
+  long long mb = cli::parse_int(
+      common.shard_mb, "flag --shard-mb", 1,
+      static_cast<long long>(::pasgal::internal::kMaxMemLimitMb),
+      ErrorCategory::kUsage);
+  out.window_bytes = static_cast<std::uint64_t>(mb) << 20;
+  return out;
+}
+
 }  // namespace internal
 
 // Graph sources:
@@ -206,6 +250,8 @@ inline bool finish_load_accounting(const GraphRegistry::Stats& before,
 
 inline LoadedGraph load_graph_timed(const std::string& spec,
                                     const CommonOptions& common) {
+  internal::apply_mem_limit(common);
+  PgrShardSpec shard = internal::shard_spec(spec, common);
   auto t0 = std::chrono::steady_clock::now();
   GraphRegistry::Stats before = GraphRegistry::instance().stats();
   LoadedGraph out;
@@ -213,7 +259,7 @@ inline LoadedGraph load_graph_timed(const std::string& spec,
     PgrOpen mode =
         common.load_mode == "copy" ? PgrOpen::kCopy : PgrOpen::kMmap;
     PgrOpenStats stats;
-    out.graph = read_pgr(spec, mode, common.validate, &stats);
+    out.graph = read_pgr(spec, mode, common.validate, &stats, shard);
     out.compressed = stats.compressed;
     out.encoded_bytes = stats.encoded_target_bytes;
     out.decode_wall_ns = stats.decode_wall_ns;
@@ -259,6 +305,7 @@ struct LoadedWeightedGraph {
 inline LoadedWeightedGraph load_weighted_graph_timed(
     const std::string& spec, const CommonOptions& common,
     std::uint32_t max_weight, bool max_weight_given) {
+  internal::apply_mem_limit(common);
   if (internal::ends_with(spec, ".pgr") && probe_pgr(spec).weighted) {
     if (max_weight_given) {
       throw Error(ErrorCategory::kUsage,
@@ -266,13 +313,14 @@ inline LoadedWeightedGraph load_weighted_graph_timed(
                       "': the file carries a weights section; drop -w to use "
                       "it, or convert the graph without --weights");
     }
+    PgrShardSpec shard = internal::shard_spec(spec, common);
     auto t0 = std::chrono::steady_clock::now();
     GraphRegistry::Stats before = GraphRegistry::instance().stats();
     LoadedWeightedGraph out;
     PgrOpen mode =
         common.load_mode == "copy" ? PgrOpen::kCopy : PgrOpen::kMmap;
     PgrOpenStats stats;
-    out.graph = read_weighted_pgr(spec, mode, common.validate, &stats);
+    out.graph = read_weighted_pgr(spec, mode, common.validate, &stats, shard);
     out.compressed = stats.compressed;
     out.encoded_bytes = stats.encoded_target_bytes;
     out.decode_wall_ns = stats.decode_wall_ns;
@@ -293,6 +341,15 @@ inline LoadedWeightedGraph load_weighted_graph_timed(
     return out;
   }
   LoadedGraph base = load_graph_timed(spec, common);
+  if (base.graph.windowed()) {
+    // add_weights hashes every (u,v) pair, i.e. reads the whole adjacency —
+    // exactly what a windowed open withholds.
+    throw Error(ErrorCategory::kUsage,
+                "'" + spec +
+                    "' has no weights section, and generating weights reads "
+                    "every edge target — impossible through a sharded "
+                    "compressed open; convert with --weights to embed them");
+  }
   LoadedWeightedGraph out;
   out.graph = gen::add_weights(base.graph, max_weight);
   out.mode = base.mode;
@@ -346,6 +403,25 @@ inline void record_load(MetricsDoc& doc, const LoadedWeightedGraph& loaded) {
     record_compression(doc, loaded.graph.num_edges(), loaded.encoded_bytes,
                        loaded.decode_wall_ns);
   }
+}
+
+// Shard-at-a-time accounting: when the open was sharded (the storage carries
+// a plan + window), emits the top-level "shard" metrics object. Activation
+// counters are summed over the forward window and the transpose's own window
+// (when the file carried transpose sections), so shard_sweeps reflects every
+// window move the run paid for. Call once, after the trials.
+inline void record_shard(MetricsDoc& doc, const Graph& g) {
+  const StorageRef& storage = g.storage();
+  if (storage == nullptr || storage->shard_window() == nullptr) return;
+  const MappedWindow& w = *storage->shard_window();
+  std::uint64_t sweeps = w.sweeps();
+  std::uint64_t faults = w.faults();
+  if (StorageRef t = storage->transpose_cache();
+      t != nullptr && t->shard_window() != nullptr) {
+    sweeps += t->shard_window()->sweeps();
+    faults += t->shard_window()->faults();
+  }
+  doc.set_shard(w.plan().size(), w.plan().window_bytes(), sweeps, faults);
 }
 
 // --- serving-mode harness ----------------------------------------------------

@@ -3,6 +3,7 @@
 //
 // Daemon:
 //   serve --socket <path> [--budget-mb N] [--deadline-ms N] [--tick-ms N]
+//         [--shard-mb <mb|auto>]
 //     Binds the unix socket, prints "serve: listening on <path>", serves
 //     until SIGTERM/SIGINT (or a `shutdown` request), drains in-flight
 //     requests, and exits 0. Request errors are per-connection responses,
@@ -114,6 +115,7 @@ int main(int argc, char** argv) {
     long long budget_mb = 0;
     long long deadline_ms = 0;
     long long tick_ms = 100;
+    std::string shard_mb;
     bool client = false;
     std::vector<std::string> requests;
 
@@ -128,6 +130,8 @@ int main(int argc, char** argv) {
         deadline_ms = cli::parse_flag_int(f, fp.value(), 0, 1LL << 40);
       } else if (f == "--tick-ms") {
         tick_ms = cli::parse_flag_int(f, fp.value(), 1, 60000);
+      } else if (f == "--shard-mb") {
+        shard_mb = fp.value();
       } else if (f == "--client") {
         client = true;
       } else if (!f.empty() && f[0] != '-') {
@@ -139,7 +143,7 @@ int main(int argc, char** argv) {
     if (socket_path.empty()) {
       std::fprintf(stderr,
                    "usage: %s --socket <path> [--budget-mb N] "
-                   "[--deadline-ms N] [--tick-ms N]\n"
+                   "[--deadline-ms N] [--tick-ms N] [--shard-mb <mb|auto>]\n"
                    "       %s --socket <path> --client \"<request>\" ...\n",
                    argv[0], argv[0]);
       return 2;
@@ -147,6 +151,10 @@ int main(int argc, char** argv) {
     if (client) {
       if (requests.empty()) {
         throw Error(ErrorCategory::kUsage, "--client: no requests given");
+      }
+      if (!shard_mb.empty()) {
+        throw Error(ErrorCategory::kUsage,
+                    "--shard-mb configures the daemon, not --client");
       }
       return run_client(socket_path, requests);
     }
@@ -161,6 +169,16 @@ int main(int argc, char** argv) {
     sopts.admission_budget_bytes = static_cast<std::uint64_t>(budget_mb) << 20;
     sopts.default_deadline_ms = static_cast<std::uint64_t>(deadline_ms);
     sopts.poll_tick_ms = static_cast<int>(tick_ms);
+    if (!shard_mb.empty()) {
+      if (shard_mb == "auto") {
+        sopts.shard_auto = true;
+      } else {
+        long long mb = cli::parse_flag_int(
+            "--shard-mb", shard_mb.c_str(), 1,
+            static_cast<long long>(internal::kMaxMemLimitMb));
+        sopts.shard_window_bytes = static_cast<std::uint64_t>(mb) << 20;
+      }
+    }
     Server server(sopts);
     server.bind();
 

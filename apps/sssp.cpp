@@ -5,7 +5,7 @@
 // alongside a weighted file.
 //
 //   sssp <graph> [-s source | --sources <v0,v1,...|@file>]
-//        [-a rho|delta|bf|seq] [-w max_weight] [-d delta]
+//        [-a rho|delta|bf|em|seq] [-w max_weight] [-d delta]
 //        [-t tau] [-r repeats] [--serve N] [--validate]
 //        [--json-metrics <path>]
 //
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   cli::OptionSet opts;
   cli::CommonOptions common;
   opts.integer("-s", &source, 0, 0xFFFFFFFFLL, "source", &source_given)
-      .choice("-a", &algo, {"rho", "delta", "bf", "seq"}, &algo_given)
+      .choice("-a", &algo, {"rho", "delta", "bf", "em", "seq"}, &algo_given)
       .text("--sources", &sources_text, "v0,v1,...|@file")
       .integer("-w", &max_weight, 1, 0xFFFFFFFFLL, "max_weight",
                &max_weight_given)
@@ -151,6 +151,7 @@ int main(int argc, char** argv) {
         RunReport<std::vector<Dist>> report =
             algo == "rho" || algo == "delta" ? stepping_sssp(g, aopt)
             : algo == "bf"                   ? bellman_ford(g, aopt)
+            : algo == "em"                   ? em_bellman_ford(g, aopt)
                                              : dijkstra(g, aopt);
         apps::print_stats(algo.c_str(), report.seconds, tracer);
         doc->add_trial(report.seconds, report.telemetry);
@@ -172,6 +173,7 @@ int main(int argc, char** argv) {
       doc->set_batch(batch_sources, best_batch_seconds);
     }
     apps::record_load(*doc, loaded);
+    apps::record_shard(*doc, loaded.graph.unweighted());
     serve.record(*doc);
     apps::finish_metrics(common, *doc);
     return 0;

@@ -344,6 +344,49 @@ grep -q 'qps gate: ok' "$tmp/qps.txt" || {
 "$prefix/apps/metrics_check" "$tmp/qps_drv.json"
 expect 2 "$prefix/apps/bfs" "$tmp/qps.pgr" --sources 5,5
 
+echo "--- bounded-RSS shard gate (beyond-ceiling graph through --shard-mb) ---"
+# Plain build. rmat:18:9M weighted: a bfs open prices ~35 MB of core CSR
+# arrays ((n+1)*8 + m*4) and a weighted sssp open ~67 MB (weights ride
+# along), so per-driver ceilings of 28 / 50 MB reject the in-core opens
+# with kResource while the sharded opens stream the same file through an
+# 8 MB window (~1/4 of the 32 MB targets section). The gate then asserts
+# the streamed runs actually honoured their ceiling (VmHWM from the
+# metrics envelope) and produced byte-identical results to the in-core
+# runs.
+"$prefix/apps/graph_convert" rmat:18:9000000 "$tmp/shard.pgr" \
+    --transpose --weights 30 > /dev/null
+bfs_cap_mb=28
+sssp_cap_mb=50
+expect 4 "$prefix/apps/bfs"  "$tmp/shard.pgr" -a gbbs -r 1 \
+    --mem-limit-mb "$bfs_cap_mb"
+expect 4 "$prefix/apps/sssp" "$tmp/shard.pgr" -a em   -r 1 \
+    --mem-limit-mb "$sssp_cap_mb"
+
+"$prefix/apps/bfs"  "$tmp/shard.pgr" -a gbbs -r 1 \
+    | normalize > "$tmp/shard_bfs_ref.txt"
+"$prefix/apps/sssp" "$tmp/shard.pgr" -a em   -r 1 \
+    | normalize > "$tmp/shard_sssp_ref.txt"
+"$prefix/apps/bfs"  "$tmp/shard.pgr" -a gbbs -r 1 --shard-mb 8 \
+    --mem-limit-mb "$bfs_cap_mb" --json-metrics "$tmp/shard_bfs.json" \
+    | normalize > "$tmp/shard_bfs.txt"
+"$prefix/apps/sssp" "$tmp/shard.pgr" -a em   -r 1 --shard-mb 8 \
+    --mem-limit-mb "$sssp_cap_mb" --json-metrics "$tmp/shard_sssp.json" \
+    | normalize > "$tmp/shard_sssp.txt"
+for algo in bfs sssp; do
+  eval "cap_mb=\$${algo}_cap_mb"
+  diff "$tmp/shard_${algo}_ref.txt" "$tmp/shard_${algo}.txt" || {
+    echo "FAIL: $algo sharded output differs from the in-core run" >&2; exit 1
+  }
+  grep -q '"shard":{"shards":' "$tmp/shard_${algo}.json" || {
+    echo "FAIL: $algo sharded metrics lack the shard subsection" >&2; exit 1
+  }
+  rss=$(sed -E 's/.*"peak_rss_bytes":([0-9]+).*/\1/' "$tmp/shard_${algo}.json")
+  [ "$rss" -lt $((cap_mb << 20)) ] || {
+    echo "FAIL: $algo sharded peak RSS $rss >= ${cap_mb} MB ceiling" >&2; exit 1
+  }
+  "$prefix/apps/metrics_check" "$tmp/shard_${algo}.json"
+done
+
 echo "--- driver --serve drain gate (SIGTERM finishes the open, flushes metrics) ---"
 "$prefix/apps/bfs" "$tmp/serve.pgr" --serve 100000 -r 1 \
     --json-metrics "$tmp/drain.json" > "$tmp/drain.txt" 2>&1 &

@@ -96,6 +96,7 @@ void check_batch_sources(std::span<const VertexId> sources, std::size_t n) {
 RunReport<std::vector<std::uint32_t>> seq_bfs(const Graph& g,
                                               const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("seq-bfs");
   return run_traced(opt,
                     [&](Tracer* t) { return seq_bfs(g, opt.source, t); });
 }
@@ -113,6 +114,7 @@ RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
                                                 const AlgoOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
+  gt.ensure_in_core("gapbs-bfs bottom-up");
   GapbsParams p{opt.gapbs_alpha, opt.gapbs_beta};
   return run_traced(
       opt, [&](Tracer* t) { return gapbs_bfs(g, gt, opt.source, p, t); });
@@ -123,6 +125,8 @@ RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
                                                  const AlgoOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
+  g.ensure_in_core("pasgal-bfs");
+  gt.ensure_in_core("pasgal-bfs");
   PasgalBfsParams p = bfs_params(opt);
   return run_traced(
       opt, [&](Tracer* t) { return pasgal_bfs(g, gt, opt.source, p, t); });
@@ -132,6 +136,7 @@ BatchReport<std::vector<std::uint32_t>> ms_bfs(const Graph& g, const Graph& gt,
                                                const BatchOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
+  g.ensure_in_core("ms-bfs");
   check_batch_sources(opt.sources, g.num_vertices());
   MsBfsParams p;
   p.dense_threshold_den = opt.algo.dense_threshold_den;
@@ -164,6 +169,7 @@ BatchReport<std::vector<std::uint32_t>> ms_bfs(const Graph& g, const Graph& gt,
 RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
                                       const AlgoOptions& opt) {
   g.ensure_validated();
+  g.unweighted().ensure_in_core("dijkstra");
   return run_traced(opt,
                     [&](Tracer* t) { return dijkstra(g, opt.source, t); });
 }
@@ -171,6 +177,7 @@ RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
 RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
                                           const AlgoOptions& opt) {
   g.ensure_validated();
+  g.unweighted().ensure_in_core("bellman-ford (use -a em for sharded runs)");
   return run_traced(
       opt, [&](Tracer* t) { return bellman_ford(g, opt.source, t); });
 }
@@ -178,6 +185,7 @@ RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
 RunReport<std::vector<Dist>> stepping_sssp(
     const WeightedGraph<std::uint32_t>& g, const AlgoOptions& opt) {
   g.ensure_validated();
+  g.unweighted().ensure_in_core("stepping SSSP (use -a em for sharded runs)");
   SteppingParams p = stepping_params(opt);
   return run_traced(
       opt, [&](Tracer* t) { return stepping_sssp(g, opt.source, p, t); });
@@ -186,6 +194,7 @@ RunReport<std::vector<Dist>> stepping_sssp(
 BatchReport<std::vector<Dist>> batch_sssp(const WeightedGraph<std::uint32_t>& g,
                                           const BatchOptions& opt) {
   g.ensure_validated();
+  g.unweighted().ensure_in_core("batched SSSP");
   check_batch_sources(opt.sources, g.num_vertices());
   SteppingParams p = stepping_params(opt.algo);
   Tracer local;
@@ -217,6 +226,7 @@ BatchReport<std::vector<Dist>> batch_sssp(const WeightedGraph<std::uint32_t>& g,
 RunReport<std::vector<SccLabel>> tarjan_scc(const Graph& g,
                                             const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("tarjan-scc");
   return run_traced(opt, [&](Tracer* t) { return tarjan_scc(g, t); });
 }
 
@@ -224,6 +234,8 @@ RunReport<std::vector<SccLabel>> pasgal_scc(const Graph& g, const Graph& gt,
                                             const AlgoOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
+  g.ensure_in_core("pasgal-scc");
+  gt.ensure_in_core("pasgal-scc");
   SccParams p = scc_params(opt);
   return run_traced(opt,
                     [&](Tracer* t) { return pasgal_scc(g, gt, p, t); });
@@ -233,6 +245,8 @@ RunReport<std::vector<SccLabel>> gbbs_scc(const Graph& g, const Graph& gt,
                                           const AlgoOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
+  g.ensure_in_core("gbbs-scc");
+  gt.ensure_in_core("gbbs-scc");
   SccParams p = scc_params(opt);
   return run_traced(opt, [&](Tracer* t) { return gbbs_scc(g, gt, p, t); });
 }
@@ -241,6 +255,8 @@ RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
                                                const AlgoOptions& opt) {
   g.ensure_validated();
   gt.ensure_validated();
+  g.ensure_in_core("multistep-scc");
+  gt.ensure_in_core("multistep-scc");
   MultistepParams p{opt.multistep_cutoff};
   return run_traced(opt,
                     [&](Tracer* t) { return multistep_scc(g, gt, p, t); });
@@ -251,22 +267,26 @@ RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
 RunReport<BccResult> hopcroft_tarjan_bcc(const Graph& g,
                                          const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("hopcroft-tarjan-bcc");
   return run_traced(opt, [&](Tracer* t) { return hopcroft_tarjan_bcc(g, t); });
 }
 
 RunReport<BccResult> fast_bcc(const Graph& g, const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("fast-bcc");
   return run_traced(opt, [&](Tracer* t) { return fast_bcc(g, t); });
 }
 
 RunReport<BccResult> tarjan_vishkin_bcc(const Graph& g,
                                         const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("tarjan-vishkin-bcc");
   return run_traced(opt, [&](Tracer* t) { return tarjan_vishkin_bcc(g, t); });
 }
 
 RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("gbbs-bcc");
   return run_traced(opt, [&](Tracer* t) { return gbbs_bcc(g, t); });
 }
 
@@ -275,12 +295,14 @@ RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt) {
 RunReport<ConnectivityResult> connected_components(const Graph& g,
                                                    const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("connected-components");
   return run_traced(opt, [&](Tracer* t) { return connected_components(g, t); });
 }
 
 RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
                                                const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("label-prop-cc");
   return run_traced(opt, [&](Tracer* t) { return label_prop_cc(g, t); });
 }
 
@@ -289,12 +311,14 @@ RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
 RunReport<std::vector<std::uint32_t>> seq_kcore(const Graph& g,
                                                 const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("seq-kcore");
   return run_traced(opt, [&](Tracer* t) { return seq_kcore(g, t); });
 }
 
 RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
                                                    const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("pasgal-kcore");
   KcoreParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) { return pasgal_kcore(g, p, t); });
 }
@@ -304,6 +328,7 @@ RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
 RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
                                                    const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("seq-toposort");
   return run_traced(opt, [&](Tracer* t) {
     std::vector<std::uint32_t> levels;
     seq_toposort(g, levels, t).throw_if_error();
@@ -314,6 +339,7 @@ RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
 RunReport<std::vector<std::uint32_t>> pasgal_toposort(const Graph& g,
                                                       const AlgoOptions& opt) {
   g.ensure_validated();
+  g.ensure_in_core("pasgal-toposort");
   ToposortParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) {
     std::vector<std::uint32_t> levels;

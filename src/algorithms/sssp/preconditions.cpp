@@ -13,14 +13,56 @@ Status check_sssp_preconditions(const WeightedGraph<std::uint32_t>& g,
                                " out of range (graph has " +
                                std::to_string(n) + " vertices)");
   }
-  Status s = g.validate();
-  if (!s.ok()) return s;
+  // Storages already deep-validated (an earlier ensure_validated pass, or a
+  // sharded open's shard-at-a-time range check) skip the O(m) structural
+  // re-scan — a windowed handle has no whole-file targets span to re-scan
+  // anyway. The weight-coverage half of validate() still applies: weights
+  // can be attached after the storage was validated.
+  const StorageRef& storage = g.unweighted().storage();
+  if (storage != nullptr && storage->validated()) {
+    if (g.weights().size() != g.num_edges()) {
+      return Status::Failure(
+          ErrorCategory::kValidation,
+          "weight array has " + std::to_string(g.weights().size()) +
+              " entries but the graph has " + std::to_string(g.num_edges()) +
+              " edges");
+    }
+  } else {
+    Status s = g.validate();
+    if (!s.ok()) return s;
+  }
   if (n <= 1 || g.num_edges() == 0) return Status::Ok();
 
-  std::uint32_t max_w = reduce_indexed<std::uint32_t>(
-      g.num_edges(), 0,
-      [](std::uint32_t a, std::uint32_t b) { return a > b ? a : b; },
-      [&](std::size_t e) { return g.edge_weight(e); });
+  auto max_u32 = [](std::uint32_t a, std::uint32_t b) { return a > b ? a : b; };
+  std::uint32_t max_w = 0;
+  const auto& window =
+      storage != nullptr ? storage->shard_window() : nullptr;
+  if (window != nullptr) {
+    // Sharded open: one flat reduce would fault in the whole weights section
+    // and hold it resident until shard sweeps DONTNEED it range by range.
+    // Walk the shard plan instead — each shard's weight range fits the
+    // window budget — advising each range in before the scan and out after.
+    auto weights = g.weights();
+    const ShardPlan& plan = window->plan();
+    const StorageWeight* sec_lo = weights.data();
+    const StorageWeight* sec_hi = weights.data() + weights.size();
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+      const ShardRange& r = plan[s];
+      const StorageWeight* w0 = weights.data() + r.e_begin;
+      std::size_t bytes =
+          static_cast<std::size_t>(r.e_end - r.e_begin) * sizeof(StorageWeight);
+      window->advise_range(w0, bytes, /*in=*/true);
+      max_w = max_u32(
+          max_w, reduce_indexed<std::uint32_t>(
+                     r.e_end - r.e_begin, 0, max_u32,
+                     [&](std::size_t i) { return w0[i]; }));
+      window->advise_range(w0, bytes, /*in=*/false, sec_lo, sec_hi);
+    }
+  } else {
+    max_w = reduce_indexed<std::uint32_t>(
+        g.num_edges(), 0, max_u32,
+        [&](std::size_t e) { return g.edge_weight(e); });
+  }
   unsigned __int128 worst =
       static_cast<unsigned __int128>(n - 1) * max_w;
   if (worst > static_cast<unsigned __int128>(max_dist)) {

@@ -48,6 +48,15 @@ std::vector<Dist> dijkstra(const WeightedGraph<std::uint32_t>& g,
 std::vector<Dist> bellman_ford(const WeightedGraph<std::uint32_t>& g,
                                VertexId source, RunStats* stats = nullptr);
 
+// Bellman-Ford through the edge_map choke point (`-a em`): same recurrence
+// and same final distances as bellman_ford, but every edge scan goes through
+// edge_map_sparse, so sharded (.pgr --shard-mb) opens traverse shard-at-a-
+// time with bounded residency. Push-only; needs no transpose.
+std::vector<Dist> em_bellman_ford(const WeightedGraph<std::uint32_t>& g,
+                                  VertexId source,
+                                  const CancelToken* cancel = nullptr,
+                                  RunStats* stats = nullptr);
+
 struct SteppingParams {
   enum class Strategy { kDelta, kRho };
   Strategy strategy = Strategy::kRho;
@@ -83,6 +92,8 @@ RunReport<std::vector<Dist>> dijkstra(const WeightedGraph<std::uint32_t>& g,
                                       const AlgoOptions& opt);
 RunReport<std::vector<Dist>> bellman_ford(const WeightedGraph<std::uint32_t>& g,
                                           const AlgoOptions& opt);
+RunReport<std::vector<Dist>> em_bellman_ford(
+    const WeightedGraph<std::uint32_t>& g, const AlgoOptions& opt);
 RunReport<std::vector<Dist>> stepping_sssp(const WeightedGraph<std::uint32_t>& g,
                                            const AlgoOptions& opt);
 

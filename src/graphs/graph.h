@@ -70,12 +70,15 @@ class Graph {
         offsets_(storage_ ? storage_->offsets()
                           : std::span<const EdgeId>{}),
         targets_(storage_ ? storage_->targets()
-                          : std::span<const VertexId>{}) {}
+                          : std::span<const VertexId>{}),
+        num_edges_(storage_ ? storage_->edge_count() : 0) {}
 
   std::size_t num_vertices() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
-  std::size_t num_edges() const { return targets_.size(); }
+  // From the storage handle, not targets_.size(): a window-only (sharded
+  // compressed) storage has no whole-graph targets array but still has m.
+  std::size_t num_edges() const { return num_edges_; }
 
   EdgeId out_degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
 
@@ -94,6 +97,22 @@ class Graph {
   // The memory behind the spans; shared with copies and cached transposes.
   // Null only for a default-constructed (empty) graph.
   const StorageRef& storage() const { return storage_; }
+
+  // True when targets exist only shard-at-a-time (sharded compressed open):
+  // neighbors()/edge_target() are unusable, only window-driven traversal
+  // (edge_map) can read edges.
+  bool windowed() const { return storage_ != nullptr && storage_->windowed(); }
+
+  // Typed guard for algorithms that random-access the adjacency arrays.
+  void ensure_in_core(const char* what) const {
+    if (!windowed()) return;
+    throw Error(ErrorCategory::kUsage,
+                std::string(what) +
+                    " needs whole-graph adjacency access, but this graph is "
+                    "open in windowed (sharded compressed) mode; reopen "
+                    "without --shard-mb or use an edge_map-based variant",
+                storage_->source_path());
+  }
 
   // Builds a CSR from an edge list (duplicates preserved unless dedup=true;
   // self-loops preserved unless drop_self_loops=true). Stable counting-sort
@@ -131,6 +150,7 @@ class Graph {
   }
 
   std::vector<Edge> to_edges() const {
+    ensure_in_core("edge-list export");
     std::vector<Edge> edges(num_edges());
     parallel_for(0, num_vertices(), [&](std::size_t v) {
       for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
@@ -154,7 +174,8 @@ class Graph {
 
   StorageRef storage_;
   std::span<const EdgeId> offsets_;   // size n+1
-  std::span<const VertexId> targets_; // size m
+  std::span<const VertexId> targets_; // size m (empty when windowed)
+  std::size_t num_edges_ = 0;
 };
 
 // Weighted CSR graph; weight i belongs to targets()[i]. Weights live in the
@@ -353,11 +374,15 @@ inline Graph Graph::transpose() const {
   if (StorageRef cached = storage_->transpose_cache()) {
     return Graph(std::move(cached));
   }
+  // A windowed open pre-populates the cache from the file's transpose
+  // sections; without them the reverse CSR cannot be built shard-at-a-time.
+  ensure_in_core("transpose construction");
   Graph t = transpose_uncached();
   return Graph(storage_->set_transpose_cache(t.storage_));
 }
 
 inline Graph Graph::symmetrize() const {
+  ensure_in_core("symmetrization");
   std::size_t n = num_vertices();
   std::size_t m = num_edges();
   std::vector<Edge> both(2 * m);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -490,118 +491,137 @@ T get(const std::byte* base, std::size_t at) {
   return value;
 }
 
-// Decodes a compressed targets section into `out` (size m), validating as it
-// goes: the chunk directory must be canonical for (n, section size), every
-// varint must terminate inside its chunk, padding bytes must be zero, and
-// every decoded target must lie in [0, n). Callers must have verified the
-// offsets array first (monotone, offsets[0] == 0, offsets[n] == m) — the
-// per-vertex degrees come from it. On success the decoded CSR satisfies the
-// full validate_csr contract, so the storage can be marked validated.
-void decode_targets_section(const std::byte* sec, std::uint64_t sec_bytes,
-                            std::uint64_t n, std::uint64_t m,
-                            std::span<const EdgeId> offsets,
-                            std::span<VertexId> out, const std::string& path) {
-  auto bad = [&](const std::string& why,
-                 std::uint64_t at = kNoOffset) -> Error {
-    return Error(ErrorCategory::kFormat, "compressed targets: " + why, path,
-                 at);
+// Validated view of a compressed targets section's chunk directory: C chunks
+// of V vertices each, stream_off[c] giving a chunk's byte offset within the
+// section. check_chunk_directory enforces the canonical shape (C matches
+// ceil(n / V), chunk starts aligned and monotone, stream_off[C] exactly the
+// section end) so everything downstream can index chunks without
+// re-checking.
+struct PgrChunkDir {
+  const std::byte* sec = nullptr;
+  std::uint64_t sec_bytes = 0;
+  std::uint64_t C = 0;
+  std::uint64_t V = 1;
+  std::uint64_t stream_off(std::uint64_t c) const {
+    return get<std::uint64_t>(sec, 16 + c * 8);
+  }
+};
+
+PgrChunkDir check_chunk_directory(const std::byte* sec, std::uint64_t sec_bytes,
+                                  std::uint64_t n, const std::string& path) {
+  auto bad = [&](const std::string& why) -> Error {
+    return Error(ErrorCategory::kFormat, "compressed targets: " + why, path);
   };
-  if (m == 0) return;
   if (sec_bytes < 16) throw bad("section too small for its chunk header");
-  const std::uint64_t C = get<std::uint64_t>(sec, 0);
-  const std::uint64_t V = get<std::uint64_t>(sec, 8);
-  if (V == 0) throw bad("vertices-per-chunk is zero");
-  if (C != (n + V - 1) / V) {
-    throw bad("chunk count " + std::to_string(C) +
-              " does not match ceil(n / " + std::to_string(V) + ")");
+  PgrChunkDir dir;
+  dir.sec = sec;
+  dir.sec_bytes = sec_bytes;
+  dir.C = get<std::uint64_t>(sec, 0);
+  dir.V = get<std::uint64_t>(sec, 8);
+  if (dir.V == 0) throw bad("vertices-per-chunk is zero");
+  if (dir.C != (n + dir.V - 1) / dir.V) {
+    throw bad("chunk count " + std::to_string(dir.C) +
+              " does not match ceil(n / " + std::to_string(dir.V) + ")");
   }
   // C <= n here (V >= 1 and n <= 2^32), so the directory size fits in u64.
-  const std::uint64_t dir_bytes = 16 + (C + 1) * 8;
+  const std::uint64_t dir_bytes = 16 + (dir.C + 1) * 8;
   if (dir_bytes > sec_bytes) throw bad("chunk directory overruns the section");
-  auto stream_off = [&](std::uint64_t c) {
-    return get<std::uint64_t>(sec, 16 + c * 8);
-  };
-  if (stream_off(0) != align_up(dir_bytes, kPgrAlign)) {
+  if (dir.stream_off(0) != align_up(dir_bytes, kPgrAlign)) {
     throw bad("first chunk is not 64-byte aligned after the directory");
   }
-  if (stream_off(C) != sec_bytes) {
-    throw bad("last chunk offset " + std::to_string(stream_off(C)) +
+  if (dir.stream_off(dir.C) != sec_bytes) {
+    throw bad("last chunk offset " + std::to_string(dir.stream_off(dir.C)) +
               " does not equal the section size " + std::to_string(sec_bytes));
   }
-  std::size_t dir_violations = count_if_index(C, [&](std::size_t c) {
-    return stream_off(c) % kPgrAlign != 0 || stream_off(c) > stream_off(c + 1);
+  std::size_t dir_violations = count_if_index(dir.C, [&](std::size_t c) {
+    return dir.stream_off(c) % kPgrAlign != 0 ||
+           dir.stream_off(c) > dir.stream_off(c + 1);
   });
   if (dir_violations != 0) {
     throw bad("chunk directory is not aligned and monotone");
   }
+  return dir;
+}
 
-  // Parallel per-chunk decode. Workers cannot throw across the scheduler, so
-  // the first error is captured and rethrown after the loop; later workers
-  // bail out early once one has failed.
+// Decodes chunk `c` into out[e - e_base] for every edge of the chunk's
+// vertices, validating as it goes: every varint must terminate inside its
+// chunk, alignment padding must be zero, and every decoded target must lie
+// in [0, n). Throws on the first violation.
+void decode_chunk(const PgrChunkDir& dir, std::uint64_t c, std::uint64_t n,
+                  std::span<const EdgeId> offsets, VertexId* out,
+                  EdgeId e_base, const std::string& path) {
+  auto bad = [&](const std::string& why) -> Error {
+    return Error(ErrorCategory::kFormat, "compressed targets: " + why, path);
+  };
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(dir.sec) + dir.stream_off(c);
+  const unsigned char* limit =
+      reinterpret_cast<const unsigned char*>(dir.sec) + dir.stream_off(c + 1);
+  std::uint64_t lo = c * dir.V;
+  std::uint64_t hi = std::min<std::uint64_t>(n, lo + dir.V);
+  for (std::uint64_t v = lo; v < hi; ++v) {
+    std::int64_t prev = static_cast<std::int64_t>(v);
+    for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+      std::uint64_t raw = 0;
+      unsigned shift = 0;
+      while (true) {
+        if (p == limit) {
+          throw bad("truncated varint stream in chunk " + std::to_string(c));
+        }
+        unsigned char byte = *p++;
+        if (shift >= 63 && (byte & 0x7E) != 0) {
+          throw bad("varint overflows 64 bits in chunk " + std::to_string(c));
+        }
+        raw |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+        if (shift > 63) {
+          throw bad("varint longer than 10 bytes in chunk " +
+                    std::to_string(c));
+        }
+      }
+      std::int64_t t = prev + zigzag_decode(raw);
+      if (t < 0 || static_cast<std::uint64_t>(t) >= n) {
+        throw Error(ErrorCategory::kValidation,
+                    "compressed targets: decoded target " + std::to_string(t) +
+                        " out of range [0, " + std::to_string(n) +
+                        ") for vertex " + std::to_string(v),
+                    path);
+      }
+      out[e - e_base] = static_cast<VertexId>(t);
+      prev = t;
+    }
+  }
+  // Alignment padding up to the next chunk must be zero — a nonzero byte
+  // is either garbage or a payload the degrees say should not exist.
+  while (p < limit) {
+    if (*p++ != 0) {
+      throw bad("nonzero padding after chunk " + std::to_string(c) +
+                " payload");
+    }
+  }
+}
+
+// Decodes the chunks [c_begin, c_end) in parallel, writing each target at
+// out[e - e_base]. Workers cannot throw across the scheduler, so the first
+// error is captured and rethrown after the loop; later workers bail out
+// early once one has failed. Used both for whole-section decodes (in-core
+// opens) and per-shard decodes (the MappedWindow's decode hook).
+void decode_chunk_range(const PgrChunkDir& dir, std::uint64_t c_begin,
+                        std::uint64_t c_end, std::uint64_t n,
+                        std::span<const EdgeId> offsets, VertexId* out,
+                        EdgeId e_base, const std::string& path) {
   std::atomic<bool> failed{false};
   std::mutex err_mu;
   std::unique_ptr<Error> first_err;
-  auto record = [&](Error e) {
-    if (!failed.exchange(true, std::memory_order_acq_rel)) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      first_err = std::make_unique<Error>(std::move(e));
-    }
-  };
-  parallel_for(0, C, [&](std::size_t c) {
+  parallel_for(c_begin, c_end, [&](std::size_t c) {
     if (failed.load(std::memory_order_relaxed)) return;
-    const unsigned char* p =
-        reinterpret_cast<const unsigned char*>(sec) + stream_off(c);
-    const unsigned char* limit =
-        reinterpret_cast<const unsigned char*>(sec) + stream_off(c + 1);
-    std::uint64_t lo = c * V;
-    std::uint64_t hi = std::min<std::uint64_t>(n, lo + V);
-    for (std::uint64_t v = lo; v < hi; ++v) {
-      std::int64_t prev = static_cast<std::int64_t>(v);
-      for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
-        std::uint64_t raw = 0;
-        unsigned shift = 0;
-        while (true) {
-          if (p == limit) {
-            record(bad("truncated varint stream in chunk " +
-                       std::to_string(c)));
-            return;
-          }
-          unsigned char byte = *p++;
-          if (shift >= 63 && (byte & 0x7E) != 0) {
-            record(bad("varint overflows 64 bits in chunk " +
-                       std::to_string(c)));
-            return;
-          }
-          raw |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-          if ((byte & 0x80) == 0) break;
-          shift += 7;
-          if (shift > 63) {
-            record(bad("varint longer than 10 bytes in chunk " +
-                       std::to_string(c)));
-            return;
-          }
-        }
-        std::int64_t t = prev + zigzag_decode(raw);
-        if (t < 0 || static_cast<std::uint64_t>(t) >= n) {
-          record(Error(ErrorCategory::kValidation,
-                       "compressed targets: decoded target " +
-                           std::to_string(t) + " out of range [0, " +
-                           std::to_string(n) + ") for vertex " +
-                           std::to_string(v),
-                       path));
-          return;
-        }
-        out[e] = static_cast<VertexId>(t);
-        prev = t;
-      }
-    }
-    // Alignment padding up to the next chunk must be zero — a nonzero byte
-    // is either garbage or a payload the degrees say should not exist.
-    while (p < limit) {
-      if (*p++ != 0) {
-        record(bad("nonzero padding after chunk " + std::to_string(c) +
-                   " payload"));
-        return;
+    try {
+      decode_chunk(dir, c, n, offsets, out, e_base, path);
+    } catch (Error& e) {
+      if (!failed.exchange(true, std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        first_err = std::make_unique<Error>(std::move(e));
       }
     }
   });
@@ -609,6 +629,22 @@ void decode_targets_section(const std::byte* sec, std::uint64_t sec_bytes,
     std::lock_guard<std::mutex> lock(err_mu);
     throw *first_err;
   }
+}
+
+// Decodes a compressed targets section into `out` (size m), validating as it
+// goes (see check_chunk_directory / decode_chunk). Callers must have
+// verified the offsets array first (monotone, offsets[0] == 0,
+// offsets[n] == m) — the per-vertex degrees come from it. On success the
+// decoded CSR satisfies the full validate_csr contract, so the storage can
+// be marked validated.
+void decode_targets_section(const std::byte* sec, std::uint64_t sec_bytes,
+                            std::uint64_t n, std::uint64_t m,
+                            std::span<const EdgeId> offsets,
+                            std::span<VertexId> out, const std::string& path) {
+  if (m == 0) return;
+  PgrChunkDir dir = check_chunk_directory(sec, sec_bytes, n, path);
+  decode_chunk_range(dir, 0, dir.C, n, offsets, out.data(), /*e_base=*/0,
+                     path);
 }
 
 // Offsets sanity required before decode can trust per-vertex degrees (and
@@ -678,10 +714,23 @@ PgrHeader parse_pgr_header(const std::byte* base, std::uint64_t file_size,
 // space, the canonical layout, and the actual file size. After this returns,
 // every section [off, off+bytes) is within the file and 64-byte aligned.
 void check_pgr_layout(const PgrHeader& h, std::uint64_t file_size,
-                      const std::string& path) {
+                      const std::string& path, bool windowed = false) {
   // Resource check first (kResource beats kFormat for absurd claims, the
-  // same order the .adj/.bin readers use).
-  GraphStorage::check_footprint(h.n, h.m, h.weighted(), path).throw_if_error();
+  // same order the .adj/.bin readers use). Windowed (sharded) opens price
+  // their bounded resident footprint instead — the caller already ran
+  // check_windowed_footprint — but the layout arithmetic still needs a
+  // bound on m: every edge costs at least one stored byte, so a claim
+  // beyond the file size is rejected before feeding the size computation.
+  if (!windowed) {
+    GraphStorage::check_footprint(h.n, h.m, h.weighted(), path)
+        .throw_if_error();
+  } else if (h.m > file_size) {
+    fail(ErrorCategory::kFormat, path,
+         "header claims " + std::to_string(h.m) +
+             " edges but the file has only " + std::to_string(file_size) +
+             " bytes",
+         24);
+  }
   if (h.n > static_cast<std::uint64_t>(kInvalidVertex)) {
     fail(ErrorCategory::kValidation, path,
          "vertex count " + std::to_string(h.n) +
@@ -827,7 +876,8 @@ struct OpenedPgr {
   PgrOpenStats stats;
 };
 
-PgrInfo info_of(const PgrHeader& h, std::uint64_t file_size) {
+PgrInfo info_of(const PgrHeader& h, std::uint64_t file_size,
+                const std::byte* base) {
   PgrInfo info;
   info.n = h.n;
   info.m = h.m;
@@ -838,6 +888,15 @@ PgrInfo info_of(const PgrHeader& h, std::uint64_t file_size) {
   info.compressed = h.compressed();
   info.file_bytes = file_size;
   info.encoded_target_bytes = h.sec[1].bytes;
+  for (int i = 0; i < kPgrSections; ++i) {
+    info.section_bytes[i] = h.sec[i].bytes;
+  }
+  // The chunk count lives in the targets section's 16-byte header (the
+  // layout check has verified the section is in-file; 16 bytes is the
+  // minimum the decoder accepts for a non-empty section).
+  if (h.compressed() && h.m != 0 && h.sec[1].bytes >= 16) {
+    info.chunk_count = get<std::uint64_t>(base + h.sec[1].off, 0);
+  }
   return info;
 }
 
@@ -867,7 +926,7 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
   }
 
   OpenedPgr out;
-  out.info = info_of(h, map->size());
+  out.info = info_of(h, map->size(), base);
   out.stats.compressed = h.compressed();
   out.stats.encoded_target_bytes = h.sec[1].bytes;
 
@@ -958,12 +1017,210 @@ OpenedPgr open_pgr_fresh(const std::string& path, PgrOpen mode,
   return out;
 }
 
+OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate,
+                   const PgrShardSpec& shard);
+
+// Range-checks a raw targets window shard-at-a-time: activate each shard
+// once through the window (bounded residency — this is the sharded stand-in
+// for the full validate_csr scan, which would touch every page at once) and
+// verify every target lies in [0, n). Counters are reset afterwards so
+// driver telemetry starts from the algorithm's first sweep.
+void validate_sharded_raw(MappedWindow& window, std::uint64_t n,
+                          const std::string& path, const char* what) {
+  const ShardPlan& plan = window.plan();
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    const ShardRange& r = plan[s];
+    MappedWindow::ActiveShard sh = window.activate(s);
+    std::size_t violations =
+        count_if_index(r.e_end - r.e_begin, [&](std::size_t i) {
+          return sh.targets[r.e_begin + i - sh.e_base] >= n;
+        });
+    if (violations != 0) {
+      fail(ErrorCategory::kValidation, path,
+           std::string(what) + ": " + std::to_string(violations) +
+               " targets out of range [0, " + std::to_string(n) +
+               ") in shard " + std::to_string(s));
+    }
+  }
+  window.release();
+  window.reset_counters();
+}
+
+// Sharded open: a bounded-residency window over the mapped file (DESIGN.md
+// §5i). Bypasses the GraphRegistry — a windowed handle prices a different
+// footprint than a shared in-core mapping of the same file, and each
+// consumer must own its window (the window serializes shard activation per
+// traversal).
+OpenedPgr open_pgr_sharded(const std::string& path, PgrOpen mode,
+                           bool validate, PgrShardSpec spec) {
+  if (mode == PgrOpen::kCopy) {
+    fail(ErrorCategory::kUsage, path,
+         "sharded opens require the mmap path; --shard-mb cannot be "
+         "combined with a copying load mode");
+  }
+  if (validate) {
+    fail(ErrorCategory::kUsage, path,
+         "--validate checksums every section byte, which defeats the "
+         "bounded residency of --shard-mb; the sharded open range-checks "
+         "shard-at-a-time instead");
+  }
+  // MADV_RANDOM on the whole mapping: the MappedWindow issues its own
+  // WILLNEED/DONTNEED per shard, and whole-file readahead would defeat the
+  // bounded residency it maintains.
+  auto map = std::make_shared<const MappedFile>(
+      MappedFile::open(path, /*sequential=*/false));
+  const std::byte* base = map->data();
+  PgrHeader h = parse_pgr_header(base, map->size(), path);
+
+  if (spec.auto_shard) {
+    // Auto mode shards only when the full in-core footprint would be
+    // rejected; graphs that fit keep the plain shared-mmap path (and its
+    // registry reuse).
+    if (GraphStorage::check_footprint(h.n, h.m, h.weighted(), path).ok()) {
+      return open_pgr(path, mode, validate, PgrShardSpec{});
+    }
+    if (spec.window_bytes == 0) {
+      spec.window_bytes = std::max<std::uint64_t>(memory_limit_bytes() / 4,
+                                                  std::uint64_t{1} << 20);
+    }
+  }
+
+  // Early absurd-claim rejection on what this open keeps resident; the
+  // precise price (decode buffer, transpose window) is re-checked below
+  // once the plan exists.
+  GraphStorage::check_windowed_footprint(h.n, spec.window_bytes, 0, path)
+      .throw_if_error();
+  check_pgr_layout(h, map->size(), path, /*windowed=*/true);
+
+  std::span<const EdgeId> offsets{
+      reinterpret_cast<const EdgeId*>(base + h.sec[0].off), h.n + 1};
+  std::span<const std::uint32_t> weights;
+  if (h.weighted() && h.m != 0) {
+    weights = {reinterpret_cast<const std::uint32_t*>(base + h.sec[2].off),
+               h.m};
+  }
+  // Offsets are fully resident (priced above); verifying them up front
+  // gives the shard plan trustworthy degrees and covers the offsets half of
+  // the validate_csr contract.
+  check_offsets_for_decode(offsets, h.n, h.m, path);
+
+  OpenedPgr out;
+  out.info = info_of(h, map->size(), base);
+  out.stats.compressed = h.compressed();
+  out.stats.encoded_target_bytes = h.sec[1].bytes;
+
+  StorageRef storage;
+  std::shared_ptr<const ShardPlan> plan;
+  std::shared_ptr<MappedWindow> window;
+  std::uint64_t extra_resident = 0;
+  std::uint64_t bpe =
+      sizeof(VertexId) + (h.weighted() ? sizeof(std::uint32_t) : 0);
+  bool raw = !h.compressed() || h.m == 0;
+
+  if (raw) {
+    std::span<const VertexId> targets;
+    if (!h.compressed() && h.m != 0) {
+      targets = {reinterpret_cast<const VertexId*>(base + h.sec[1].off), h.m};
+    }
+    plan = std::make_shared<const ShardPlan>(
+        ShardPlan::build(offsets, bpe, spec.window_bytes,
+                         static_cast<std::uint32_t>(kPgrVerticesPerChunk)));
+    storage = GraphStorage::mapped(map, path, offsets, targets, weights);
+    window = MappedWindow::raw(plan, targets.data(), weights.data());
+  } else {
+    if (fault::should_fail("decode")) {
+      throw Error(ErrorCategory::kFormat, "injected fault: decode", path);
+    }
+    PgrChunkDir dir =
+        check_chunk_directory(base + h.sec[1].off, h.sec[1].bytes, h.n, path);
+    // Shard boundaries must fall on chunk boundaries so every shard decodes
+    // whole chunks; align to the file's chunking granularity.
+    std::uint32_t align = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        dir.V, std::numeric_limits<std::uint32_t>::max()));
+    plan = std::make_shared<const ShardPlan>(
+        ShardPlan::build(offsets, bpe, spec.window_bytes, align));
+    storage = GraphStorage::mapped_windowed(map, path, offsets, weights, h.m);
+    std::uint64_t n = h.n;
+    auto chunk_end = [dir](StorageVertexId v_end) {
+      return std::min<std::uint64_t>(
+          dir.C, (static_cast<std::uint64_t>(v_end) + dir.V - 1) / dir.V);
+    };
+    auto decode = [dir, n, offsets, path, chunk_end](const ShardRange& r,
+                                                     StorageVertexId* buf) {
+      decode_chunk_range(dir, r.v_begin / dir.V, chunk_end(r.v_end), n,
+                         offsets, buf, r.e_begin, path);
+    };
+    auto encoded_range = [dir, chunk_end](
+                             const ShardRange& r)
+        -> std::pair<const void*, std::size_t> {
+      std::uint64_t b0 = dir.stream_off(r.v_begin / dir.V);
+      std::uint64_t b1 = dir.stream_off(chunk_end(r.v_end));
+      return {dir.sec + b0, static_cast<std::size_t>(b1 - b0)};
+    };
+    window = MappedWindow::decoding(plan, std::move(decode),
+                                    std::move(encoded_range), weights.data());
+    // The reusable decode buffer is a real heap resident, sized for the
+    // largest shard.
+    extra_resident = plan->max_shard_edges() * sizeof(VertexId);
+  }
+
+  // Transpose sections become a second windowed storage over the same
+  // mapping (always raw — only the forward targets section is compressed),
+  // pre-populating the transpose cache so gt sweeps stay bounded too.
+  StorageRef tcache;
+  std::shared_ptr<const ShardPlan> t_plan;
+  std::shared_ptr<MappedWindow> t_window;
+  if (h.has_transpose()) {
+    std::span<const EdgeId> t_offsets{
+        reinterpret_cast<const EdgeId*>(base + h.sec[3].off), h.n + 1};
+    std::span<const VertexId> t_targets;
+    if (h.m != 0) {
+      t_targets = {reinterpret_cast<const VertexId*>(base + h.sec[4].off),
+                   h.m};
+    }
+    check_offsets_for_decode(t_offsets, h.n, h.m, path);
+    t_plan = std::make_shared<const ShardPlan>(
+        ShardPlan::build(t_offsets, sizeof(VertexId), spec.window_bytes,
+                         static_cast<std::uint32_t>(kPgrVerticesPerChunk)));
+    tcache = GraphStorage::mapped(map, path, t_offsets, t_targets, {});
+    t_window = MappedWindow::raw(t_plan, t_targets.data(), nullptr);
+    extra_resident += (h.n + 1) * sizeof(EdgeId) + spec.window_bytes;
+  }
+
+  // Final price: offsets + window + decode buffer + transpose residents.
+  GraphStorage::check_windowed_footprint(h.n, spec.window_bytes,
+                                         extra_resident, path)
+      .throw_if_error();
+  std::uint64_t resident =
+      (h.n + 1) * sizeof(EdgeId) + spec.window_bytes + extra_resident;
+
+  // Eager bounded-residency validation: raw targets are range-checked with
+  // one sweep through the window (compressed shards are validated by the
+  // decoder on every activation), so traversal-time unchecked indexing is
+  // as safe as after a deep-validated in-core open.
+  if (raw) {
+    validate_sharded_raw(*window, h.n, path, "targets");
+  }
+  storage->mark_validated();
+  if (tcache != nullptr) {
+    validate_sharded_raw(*t_window, h.n, path, "transpose targets");
+    tcache->mark_validated();
+    tcache->set_sharding(std::move(t_plan), std::move(t_window), 0);
+    storage->set_transpose_cache(std::move(tcache));
+  }
+  storage->set_sharding(std::move(plan), std::move(window), resident);
+  out.storage = std::move(storage);
+  return out;
+}
+
 // Mmap opens go through the process-level GraphRegistry: every open of the
 // same file (by stat identity — see registry.h) in one process shares a
 // single mapping and its memoized transpose. Copy opens bypass it: kCopy's
 // contract is decoupling from the file, and a shared heap image could go
 // stale if the file is rewritten in place within mtime granularity.
-OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
+OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate,
+                   const PgrShardSpec& shard) {
+  if (shard.enabled()) return open_pgr_sharded(path, mode, validate, shard);
   if (mode == PgrOpen::kCopy) return open_pgr_fresh(path, mode, validate);
 
   bool opened_fresh = false;
@@ -982,7 +1239,7 @@ OpenedPgr open_pgr(const std::string& path, PgrOpen mode, bool validate) {
   const std::byte* base = map->data();
   PgrHeader h = parse_pgr_header(base, map->size(), path);
   OpenedPgr out;
-  out.info = info_of(h, map->size());
+  out.info = info_of(h, map->size(), base);
   out.storage = std::move(storage);
   out.stats.compressed = h.compressed();
   out.stats.encoded_target_bytes = h.sec[1].bytes;
@@ -1020,17 +1277,23 @@ void write_pgr(const WeightedGraph<std::uint32_t>& g, const std::string& path,
   write_pgr_impl(g.unweighted(), /*weighted=*/true, g.weights(), path, opts);
 }
 
+const char* pgr_section_name(int i) {
+  static_assert(kPgrSectionCount == kPgrSections);
+  return kPgrSectionName[i];
+}
+
 Graph read_pgr(const std::string& path, PgrOpen mode, bool validate,
-               PgrOpenStats* stats) {
-  OpenedPgr opened = open_pgr(path, mode, validate);
+               PgrOpenStats* stats, const PgrShardSpec& shard) {
+  OpenedPgr opened = open_pgr(path, mode, validate, shard);
   if (stats != nullptr) *stats = opened.stats;
   return Graph(std::move(opened.storage));
 }
 
 WeightedGraph<std::uint32_t> read_weighted_pgr(const std::string& path,
                                                PgrOpen mode, bool validate,
-                                               PgrOpenStats* stats) {
-  OpenedPgr opened = open_pgr(path, mode, validate);
+                                               PgrOpenStats* stats,
+                                               const PgrShardSpec& shard) {
+  OpenedPgr opened = open_pgr(path, mode, validate, shard);
   if (!opened.info.weighted) {
     fail(ErrorCategory::kFormat, path,
          "file has no weights section; use read_pgr / an unweighted driver");
@@ -1042,8 +1305,12 @@ WeightedGraph<std::uint32_t> read_weighted_pgr(const std::string& path,
 PgrInfo probe_pgr(const std::string& path) {
   MappedFile map = MappedFile::open(path);
   PgrHeader h = parse_pgr_header(map.data(), map.size(), path);
-  check_pgr_layout(h, map.size(), path);
-  return info_of(h, map.size());
+  // The windowed layout check: full structural verification (section table,
+  // file size) without the in-core RAM-ceiling gate — a probe allocates
+  // nothing, and callers planning a sharded open of a beyond-ceiling file
+  // must still be able to peek at it.
+  check_pgr_layout(h, map.size(), path, /*windowed=*/true);
+  return info_of(h, map.size(), map.data());
 }
 
 }  // namespace pasgal

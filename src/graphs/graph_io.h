@@ -87,6 +87,11 @@ struct PgrWriteOptions {
   bool compress_targets = false;
 };
 
+// Canonical section order of the on-disk format (indices into
+// PgrInfo::section_bytes); pgr_section_name() names each slot.
+inline constexpr int kPgrSectionCount = 5;
+const char* pgr_section_name(int i);
+
 // Header summary of a .pgr file without loading its sections.
 struct PgrInfo {
   std::uint64_t n = 0;
@@ -100,6 +105,28 @@ struct PgrInfo {
   // On-disk bytes of the targets section: m * sizeof(VertexId) when raw,
   // the encoded stream size when compressed.
   std::uint64_t encoded_target_bytes = 0;
+  // Per-section on-disk byte sizes in canonical order (offsets, targets,
+  // weights, transpose offsets, transpose targets); 0 marks an absent
+  // section.
+  std::uint64_t section_bytes[kPgrSectionCount] = {};
+  // Number of varint chunks in a compressed (v2) targets section, read from
+  // its 16-byte chunk header; 0 for raw files and empty edge sets.
+  std::uint64_t chunk_count = 0;
+};
+
+/// Sharded (beyond-RAM) open: instead of keeping the whole adjacency
+// resident, partition it into contiguous vertex-range shards whose edge
+// payload fits `window_bytes` and let the traversal layer sweep them through
+// one bounded residency window (see DESIGN.md §5i). With `auto_shard` the
+// open stays in-core (plain shared mmap) whenever the full CSR footprint
+// fits the memory ceiling and falls back to a ceiling/4 window only when it
+// does not. A zero-initialized spec means no sharding. Only meaningful for
+// mmap opens of .pgr files; combining a spec with kCopy or `validate` is a
+// kUsage error (both would touch every byte, defeating the window).
+struct PgrShardSpec {
+  std::uint64_t window_bytes = 0;
+  bool auto_shard = false;
+  bool enabled() const { return window_bytes != 0 || auto_shard; }
 };
 
 // Per-open cost accounting, filled by read_pgr / read_weighted_pgr when the
@@ -121,15 +148,24 @@ void write_pgr(const WeightedGraph<std::uint32_t>& g, const std::string& path,
 // and runs the full validate_csr pass (always on for kCopy, opt-in for
 // kMmap — the O(1) promise). A file with embedded transpose sections comes
 // back with the transpose cache pre-populated, sharing the same mapping.
+// An enabled `shard` spec opens the graph windowed: the storage carries a
+// ShardPlan + MappedWindow the traversal layer sweeps, the resident
+// footprint is priced as offsets + window (+ decode buffer / transpose
+// window) instead of the whole file, and the open bypasses the registry
+// (each sharded consumer owns its window).
 Graph read_pgr(const std::string& path, PgrOpen mode = PgrOpen::kMmap,
-               bool validate = false, PgrOpenStats* stats = nullptr);
+               bool validate = false, PgrOpenStats* stats = nullptr,
+               const PgrShardSpec& shard = {});
 // Requires the weighted flag; weights map zero-copy alongside the topology.
 WeightedGraph<std::uint32_t> read_weighted_pgr(
     const std::string& path, PgrOpen mode = PgrOpen::kMmap,
-    bool validate = false, PgrOpenStats* stats = nullptr);
+    bool validate = false, PgrOpenStats* stats = nullptr,
+    const PgrShardSpec& shard = {});
 
 // Header-only peek: parses and structurally checks the header (magic,
-// version, flags, layout vs file size) without touching section bytes.
+// version, flags, layout vs file size) without touching section payloads
+// (for a compressed file it additionally reads the targets section's
+// 16-byte chunk header to report the chunk count).
 PgrInfo probe_pgr(const std::string& path);
 
 }  // namespace pasgal

@@ -72,7 +72,10 @@ StorageRef GraphRegistry::open_shared(
       bytes_mapped_.fetch_add(fresh->bytes_mapped(),
                               std::memory_order_relaxed);
       entry->storage = fresh;
-      entry->bytes = fresh->bytes_mapped();
+      // Accounted at what the handle keeps resident, not just the mapping:
+      // a compressed open's decoded heap buffer is real memory the
+      // admission/eviction math must see.
+      entry->bytes = fresh->resident_bytes();
       entry->path = path;
       entry->last_use_ns = now_ns();
       was_miss = true;

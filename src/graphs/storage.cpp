@@ -5,9 +5,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <cstring>
+
+#ifndef MADV_HUGEPAGE
+#define MADV_HUGEPAGE MADV_NORMAL  // hint degrades to a no-op off Linux
+#endif
 
 #include "pasgal/fault.h"
 #include "pasgal/resource.h"
@@ -63,7 +68,7 @@ MappedFile::~MappedFile() {
   }
 }
 
-MappedFile MappedFile::open(const std::string& path) {
+MappedFile MappedFile::open(const std::string& path, bool sequential) {
   if (fault::should_fail("mmap")) {
     throw Error(ErrorCategory::kIo, "injected fault: mmap", path);
   }
@@ -94,10 +99,242 @@ MappedFile MappedFile::open(const std::string& path) {
                 std::string("mmap failed: ") + std::strerror(err), path);
   }
   // Readahead hint: CSR consumers scan offsets/targets mostly sequentially.
-  // Advisory only — failure is not an error.
-  ::madvise(addr, out.size_, MADV_WILLNEED);
+  // Sharded opens take MADV_RANDOM instead — the MappedWindow issues its own
+  // per-shard hints and whole-file readahead would defeat the bounded
+  // residency. Advisory only — failure is not an error.
+  ::madvise(addr, out.size_, sequential ? MADV_WILLNEED : MADV_RANDOM);
   out.data_ = static_cast<const std::byte*>(addr);
   return out;
+}
+
+// --- ShardPlan ---------------------------------------------------------------
+
+ShardPlan ShardPlan::build(std::span<const StorageEdgeId> offsets,
+                           std::uint64_t bytes_per_edge,
+                           std::uint64_t window_bytes, std::uint32_t align) {
+  ShardPlan plan;
+  plan.window_bytes_ = window_bytes;
+  plan.bytes_per_edge_ = bytes_per_edge;
+  if (offsets.size() <= 1) return plan;  // empty graph: zero shards
+  std::uint64_t n = offsets.size() - 1;
+  if (align == 0) align = 1;
+  std::uint64_t max_edges =
+      bytes_per_edge != 0 ? window_bytes / bytes_per_edge : ~std::uint64_t{0};
+  if (max_edges == 0) max_edges = 1;
+  std::uint64_t v = 0;
+  while (v < n) {
+    std::uint64_t v_end = std::min<std::uint64_t>(v + align, n);
+    // Grow block by block while the payload stays within budget.
+    while (v_end < n) {
+      std::uint64_t next = std::min<std::uint64_t>(v_end + align, n);
+      if (offsets[next] - offsets[v] > max_edges) break;
+      v_end = next;
+    }
+    plan.ranges_.push_back(ShardRange{static_cast<StorageVertexId>(v),
+                                      static_cast<StorageVertexId>(v_end),
+                                      offsets[v], offsets[v_end]});
+    v = v_end;
+  }
+  return plan;
+}
+
+std::size_t ShardPlan::shard_of(StorageVertexId v) const {
+  // Last range whose v_begin <= v.
+  std::size_t lo = 0, hi = ranges_.size();
+  while (hi - lo > 1) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (ranges_[mid].v_begin <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StorageEdgeId ShardPlan::max_shard_edges() const {
+  StorageEdgeId best = 0;
+  for (const ShardRange& r : ranges_) {
+    best = std::max(best, r.e_end - r.e_begin);
+  }
+  return best;
+}
+
+// --- MappedWindow ------------------------------------------------------------
+
+namespace {
+// HUGEPAGE is worth asking for once a shard spans multiple huge pages.
+constexpr std::size_t kHugePageHintBytes = 4u << 20;
+// Modern kernels cache file pages in large folios (up to 2 MB). A fault in
+// shard s+1 maps every cache-resident page of the folio it lands in —
+// including pages of the just-dropped shard s when a folio straddles the
+// boundary — and those resurrected pages would never be advised out again,
+// accumulating ~a folio per sweep. Widening every DONTNEED by one max-folio
+// margin each side (clamped to the section, so hot offsets pages next door
+// are not churned) makes the next drop cover the resurrected tail too.
+constexpr std::size_t kFolioSpillBytes = 2u << 20;
+}  // namespace
+
+std::shared_ptr<MappedWindow> MappedWindow::raw(
+    std::shared_ptr<const ShardPlan> plan, const StorageVertexId* targets_base,
+    const StorageWeight* weights_base) {
+  auto w = std::shared_ptr<MappedWindow>(new MappedWindow());
+  w->plan_ = std::move(plan);
+  w->targets_base_ = targets_base;
+  w->weights_base_ = weights_base;
+  w->visited_.assign(w->plan_->size(), false);
+  if (w->plan_->size() != 0) {
+    w->total_edges_ = (*w->plan_)[w->plan_->size() - 1].e_end;
+  }
+  return w;
+}
+
+std::shared_ptr<MappedWindow> MappedWindow::decoding(
+    std::shared_ptr<const ShardPlan> plan, DecodeFn decode,
+    EncodedRangeFn encoded_range, const StorageWeight* weights_base) {
+  auto w = std::shared_ptr<MappedWindow>(new MappedWindow());
+  w->plan_ = std::move(plan);
+  w->decode_ = std::move(decode);
+  w->encoded_range_ = std::move(encoded_range);
+  w->weights_base_ = weights_base;
+  w->visited_.assign(w->plan_->size(), false);
+  if (w->plan_->size() != 0) {
+    w->total_edges_ = (*w->plan_)[w->plan_->size() - 1].e_end;
+    auto [lo, lo_bytes] = w->encoded_range_((*w->plan_)[0]);
+    auto [hi, hi_bytes] = w->encoded_range_((*w->plan_)[w->plan_->size() - 1]);
+    w->encoded_lo_ = lo;
+    w->encoded_hi_ = static_cast<const std::byte*>(hi) + hi_bytes;
+    (void)lo_bytes;
+  }
+  return w;
+}
+
+void MappedWindow::advise(const void* addr, std::size_t len,
+                          int advice) const {
+  if (addr == nullptr || len == 0) return;
+  // madvise wants a page-aligned start; round down and extend accordingly.
+  static const std::uintptr_t page =
+      static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+  std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+  std::uintptr_t base = a & ~(page - 1);
+  len += static_cast<std::size_t>(a - base);
+  // Advisory only: EINVAL (e.g. HUGEPAGE on a file mapping without kernel
+  // support) is not an error.
+  ::madvise(reinterpret_cast<void*>(base), len, advice);
+}
+
+void MappedWindow::advise_out_wide(const void* addr, std::size_t len,
+                                   const void* sec_lo,
+                                   const void* sec_hi) const {
+  const std::byte* a = static_cast<const std::byte*>(addr);
+  const std::byte* lo = static_cast<const std::byte*>(sec_lo);
+  const std::byte* hi = static_cast<const std::byte*>(sec_hi);
+  if (lo != nullptr && hi != nullptr && lo <= a && a + len <= hi) {
+    const std::byte* b = a - std::min<std::size_t>(
+                                 kFolioSpillBytes,
+                                 static_cast<std::size_t>(a - lo));
+    const std::byte* e =
+        a + len +
+        std::min<std::size_t>(kFolioSpillBytes,
+                              static_cast<std::size_t>(hi - (a + len)));
+    advise(b, static_cast<std::size_t>(e - b), MADV_DONTNEED);
+  } else {
+    advise(addr, len, MADV_DONTNEED);
+  }
+}
+
+void MappedWindow::advise_range(const void* addr, std::size_t len, bool in,
+                                const void* section_begin,
+                                const void* section_end) const {
+  if (in) {
+    advise(addr, len, MADV_WILLNEED);
+  } else {
+    advise_out_wide(addr, len, section_begin, section_end);
+  }
+}
+
+void MappedWindow::advise_shard(const ShardRange& r, bool in) const {
+  std::size_t edges = static_cast<std::size_t>(r.e_end - r.e_begin);
+  if (targets_base_ != nullptr) {
+    std::size_t bytes = edges * sizeof(StorageVertexId);
+    if (in) {
+      advise(targets_base_ + r.e_begin, bytes, MADV_WILLNEED);
+      if (bytes >= kHugePageHintBytes) {
+        advise(targets_base_ + r.e_begin, bytes, MADV_HUGEPAGE);
+      }
+    } else {
+      advise_out_wide(targets_base_ + r.e_begin, bytes, targets_base_,
+                      targets_base_ + total_edges_);
+    }
+  } else if (encoded_range_) {
+    auto [addr, bytes] = encoded_range_(r);
+    if (in) {
+      advise(addr, bytes, MADV_WILLNEED);
+      if (bytes >= kHugePageHintBytes) {
+        advise(addr, bytes, MADV_HUGEPAGE);
+      }
+    } else {
+      advise_out_wide(addr, bytes, encoded_lo_, encoded_hi_);
+    }
+  }
+  if (weights_base_ != nullptr) {
+    std::size_t bytes = edges * sizeof(StorageWeight);
+    if (in) {
+      advise(weights_base_ + r.e_begin, bytes, MADV_WILLNEED);
+    } else {
+      advise_out_wide(weights_base_ + r.e_begin, bytes, weights_base_,
+                      weights_base_ + total_edges_);
+    }
+  }
+}
+
+MappedWindow::ActiveShard MappedWindow::activate(std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ShardRange& r = (*plan_)[shard];
+  if (active_ != static_cast<std::ptrdiff_t>(shard)) {
+    if (active_ >= 0) {
+      advise_shard((*plan_)[static_cast<std::size_t>(active_)], /*in=*/false);
+    }
+    advise_shard(r, /*in=*/true);
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    if (visited_[shard]) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+    visited_[shard] = true;
+    active_ = static_cast<std::ptrdiff_t>(shard);
+  }
+  ActiveShard out;
+  if (decode_) {
+    if (decoded_ != static_cast<std::ptrdiff_t>(shard)) {
+      decode_buf_.resize(
+          static_cast<std::size_t>(plan_->max_shard_edges()));
+      decode_(r, decode_buf_.data());
+      decoded_ = static_cast<std::ptrdiff_t>(shard);
+    }
+    out.targets = decode_buf_.data();
+    out.e_base = r.e_begin;
+  } else {
+    // Raw mode: the mapping's global targets pointer stays valid for every
+    // edge, so the base is 0 and targets[e - 0] is just targets[e].
+    out.targets = targets_base_;
+    out.e_base = 0;
+  }
+  return out;
+}
+
+void MappedWindow::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ >= 0) {
+    advise_shard((*plan_)[static_cast<std::size_t>(active_)], /*in=*/false);
+    active_ = -1;
+  }
+}
+
+void MappedWindow::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sweeps_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+  visited_.assign(plan_->size(), false);
 }
 
 // --- GraphStorage ------------------------------------------------------------
@@ -113,6 +350,7 @@ StorageRef GraphStorage::owned(std::vector<StorageEdgeId> offsets,
   s->offsets_ = s->own_offsets_;
   s->targets_ = s->own_targets_;
   s->weights_ = s->own_weights_;
+  s->edge_count_ = s->targets_.size();
   // In-process builders (generators, transposes, symmetrizers) produce
   // in-range CSRs by construction; only untrusted file-backed storages
   // start unvalidated.
@@ -139,6 +377,26 @@ Status GraphStorage::check_footprint(std::uint64_t n, std::uint64_t m,
                           path);
 }
 
+Status GraphStorage::check_windowed_footprint(std::uint64_t n,
+                                              std::uint64_t window_bytes,
+                                              std::uint64_t extra_bytes,
+                                              const std::string& path) {
+  if (fault::should_fail("alloc")) {
+    return Status::Failure(ErrorCategory::kResource, "injected fault: alloc",
+                           path);
+  }
+  unsigned __int128 need =
+      (static_cast<unsigned __int128>(n) + 1) * sizeof(StorageEdgeId) +
+      static_cast<unsigned __int128>(window_bytes) + extra_bytes;
+  constexpr std::uint64_t kMax = static_cast<std::uint64_t>(-1);
+  std::uint64_t need64 = need > kMax ? kMax : static_cast<std::uint64_t>(need);
+  return check_allocation(need64,
+                          "sharded graph window (n=" + std::to_string(n) +
+                              ", window=" + std::to_string(window_bytes) +
+                              " bytes)",
+                          path);
+}
+
 StorageRef GraphStorage::allocate(std::uint64_t n, std::uint64_t m,
                                   bool weighted, const std::string& path) {
   check_footprint(n, m, weighted, path).throw_if_error();
@@ -161,6 +419,7 @@ StorageRef GraphStorage::mapped(std::shared_ptr<const MappedFile> file,
   s->offsets_ = offsets;
   s->targets_ = targets;
   s->weights_ = weights;
+  s->edge_count_ = targets.size();
   s->source_path_ = path;
   return s;
 }
@@ -177,7 +436,29 @@ StorageRef GraphStorage::mapped_with_decoded_targets(
   s->offsets_ = offsets;
   s->targets_ = s->own_targets_;
   s->weights_ = weights;
+  s->edge_count_ = s->targets_.size();
+  // The decoded array is real heap residency on top of the mapping; the
+  // registry's budget math must see it (admission priced it at open).
+  s->decode_heap_bytes_ = s->own_targets_.size() * sizeof(StorageVertexId);
   s->source_path_ = path;
+  return s;
+}
+
+StorageRef GraphStorage::mapped_windowed(
+    std::shared_ptr<const MappedFile> file, const std::string& path,
+    std::span<const StorageEdgeId> offsets,
+    std::span<const StorageWeight> weights, std::uint64_t edge_count) {
+  auto s = StorageRef(new GraphStorage());
+  s->backend_ = Backend::kMmap;
+  s->map_ = std::move(file);
+  s->offsets_ = offsets;
+  s->weights_ = weights;
+  s->edge_count_ = edge_count;
+  s->window_only_ = true;
+  s->source_path_ = path;
+  // The per-shard decoder validates each chunk it produces; there is no
+  // whole-graph targets array for ensure_validated to scan.
+  s->validated_.store(true, std::memory_order_relaxed);
   return s;
 }
 

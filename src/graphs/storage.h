@@ -25,10 +25,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pasgal/error.h"
@@ -61,9 +63,12 @@ class MappedFile {
   MappedFile& operator=(const MappedFile&) = delete;
   ~MappedFile();
 
-  // Maps `path` read-only and applies an MADV_WILLNEED hint (sequential CSR
-  // scans want readahead). Throws kIo on open/map failure.
-  static MappedFile open(const std::string& path);
+  // Maps `path` read-only. With `sequential` (the default) the mapping gets
+  // an MADV_WILLNEED hint — CSR consumers scan mostly sequentially. Sharded
+  // opens pass false and get MADV_RANDOM instead: the MappedWindow issues
+  // its own WILLNEED/DONTNEED per shard, and whole-file readahead would
+  // defeat the bounded residency it maintains. Throws kIo on failure.
+  static MappedFile open(const std::string& path, bool sequential = true);
 
   const std::byte* data() const { return data_; }
   std::size_t size() const { return size_; }
@@ -76,6 +81,143 @@ class MappedFile {
   }
   const std::byte* data_ = nullptr;
   std::size_t size_ = 0;
+};
+
+// --- shard-at-a-time execution ----------------------------------------------
+//
+// A graph larger than the memory budget streams through a bounded window
+// instead of being rejected: the CSR is partitioned into contiguous
+// vertex-range shards (ShardPlan) and the traversal layer sweeps them in
+// order through one MappedWindow, which bounds *residency* — the whole file
+// stays mapped so pointers are valid everywhere, but only the active shard's
+// pages are hinted resident (MADV_WILLNEED ahead, MADV_DONTNEED behind).
+
+// One contiguous vertex range and the edge range its adjacency lists cover.
+struct ShardRange {
+  StorageVertexId v_begin = 0;
+  StorageVertexId v_end = 0;  // exclusive
+  StorageEdgeId e_begin = 0;
+  StorageEdgeId e_end = 0;  // exclusive
+};
+
+// Contiguous vertex ranges sized so each shard's edge payload fits the
+// window budget. Boundaries snap to `align`-vertex blocks (1024 for
+// compressed v2, whose chunks are 1024-vertex-aligned) so a shard is always
+// a whole number of decode chunks.
+class ShardPlan {
+ public:
+  // Greedy build: grow each range block by block while the edge payload
+  // ((e_end - e_begin) * bytes_per_edge) stays within window_bytes. A range
+  // always covers at least one block — a hub block heavier than the budget
+  // gets a shard (and a transient window) of its own size rather than an
+  // error.
+  static ShardPlan build(std::span<const StorageEdgeId> offsets,
+                         std::uint64_t bytes_per_edge,
+                         std::uint64_t window_bytes, std::uint32_t align);
+
+  std::size_t size() const { return ranges_.size(); }
+  const ShardRange& operator[](std::size_t i) const { return ranges_[i]; }
+  // Index of the shard containing vertex v (binary search).
+  std::size_t shard_of(StorageVertexId v) const;
+  std::uint64_t window_bytes() const { return window_bytes_; }
+  std::uint64_t bytes_per_edge() const { return bytes_per_edge_; }
+  // Largest per-shard edge count: sizes the reusable v2 decode buffer.
+  StorageEdgeId max_shard_edges() const;
+
+ private:
+  std::vector<ShardRange> ranges_;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t bytes_per_edge_ = 0;
+};
+
+// The residency window one traversal sweeps through the shards. Two modes:
+//
+//   * raw — targets (and weights, when present) live in the mapping;
+//     activate() madvises the shard's byte range in (WILLNEED, plus
+//     HUGEPAGE for multi-MB spans) and the previous shard's range out
+//     (DONTNEED; file-backed MAP_PRIVATE read-only pages drop from RSS and
+//     refault from page cache / disk on next touch).
+//   * decoding — compressed v2 targets decode on demand into one reusable
+//     heap buffer sized for the largest shard; the encoded byte range gets
+//     the same madvise treatment.
+//
+// activate() returns the shard's targets pointer and edge base; consumers
+// index uniformly with targets[e - e_base] in both modes.
+class MappedWindow {
+ public:
+  struct ActiveShard {
+    const StorageVertexId* targets = nullptr;  // index with (e - e_base)
+    StorageEdgeId e_base = 0;
+  };
+
+  using DecodeFn = std::function<void(const ShardRange&, StorageVertexId*)>;
+  // Byte span of a shard's encoded chunks within the mapping (for madvise).
+  using EncodedRangeFn =
+      std::function<std::pair<const void*, std::size_t>(const ShardRange&)>;
+
+  static std::shared_ptr<MappedWindow> raw(
+      std::shared_ptr<const ShardPlan> plan,
+      const StorageVertexId* targets_base, const StorageWeight* weights_base);
+
+  static std::shared_ptr<MappedWindow> decoding(
+      std::shared_ptr<const ShardPlan> plan, DecodeFn decode,
+      EncodedRangeFn encoded_range, const StorageWeight* weights_base);
+
+  // Makes `shard` the resident one: madvises the previous shard out and this
+  // one in (decoding it first in decode mode). Serialized internally; the
+  // traversal layer drives shards one at a time.
+  ActiveShard activate(std::size_t shard);
+
+  // Drops the active shard's residency hint (end of a run, or an unwind at
+  // a cancelled sweep boundary). Idempotent.
+  void release();
+
+  // Residency hint for an arbitrary mapped range, for bounded one-off scans
+  // that walk a whole-file section outside the shard loop (e.g. the SSSP
+  // weight-overflow precondition): advise each chunk in, scan it, advise it
+  // out. Does not touch the active-shard state or the sweep counters.
+  // Passing the enclosing section's bounds widens the advise-out range by a
+  // folio-spill margin (see kFolioSpillBytes in storage.cpp) clamped to the
+  // section, covering pages a neighbouring chunk's faults resurrected.
+  void advise_range(const void* addr, std::size_t len, bool in,
+                    const void* section_begin = nullptr,
+                    const void* section_end = nullptr) const;
+
+  const ShardPlan& plan() const { return *plan_; }
+
+  // Telemetry: sweeps counts every activation; faults counts activations of
+  // a shard that was resident before and had been dropped (each one is a
+  // page-refault burst). reset_counters() zeroes both and forgets the
+  // visit history — the open-time validation sweep calls it so driver
+  // metrics start from the algorithm's first activation.
+  std::uint64_t sweeps() const { return sweeps_.load(std::memory_order_relaxed); }
+  std::uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
+  void reset_counters();
+
+ private:
+  MappedWindow() = default;
+  void advise(const void* addr, std::size_t len, int advice) const;
+  void advise_shard(const ShardRange& r, bool in) const;
+  // DONTNEED widened by the folio-spill margin, clamped to [sec_lo, sec_hi).
+  void advise_out_wide(const void* addr, std::size_t len, const void* sec_lo,
+                       const void* sec_hi) const;
+
+  std::shared_ptr<const ShardPlan> plan_;
+  const StorageVertexId* targets_base_ = nullptr;  // raw mode
+  const StorageWeight* weights_base_ = nullptr;
+  StorageEdgeId total_edges_ = 0;  // section extent for clamped advises
+  DecodeFn decode_;               // decode mode
+  EncodedRangeFn encoded_range_;  // decode mode
+  const void* encoded_lo_ = nullptr;  // encoded stream bounds (decode mode)
+  const void* encoded_hi_ = nullptr;
+  std::vector<StorageVertexId> decode_buf_;
+
+  mutable std::mutex mu_;
+  std::ptrdiff_t active_ = -1;
+  std::ptrdiff_t decoded_ = -1;  // shard currently in decode_buf_
+  std::vector<bool> visited_;
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 class GraphStorage;
@@ -103,6 +245,15 @@ class GraphStorage {
   // plausibility checks so absurd claims always classify as kResource.
   static Status check_footprint(std::uint64_t n, std::uint64_t m,
                                 bool weighted, const std::string& path);
+
+  // Windowed variant: prices what a sharded open keeps resident — the
+  // offsets array (touched in full by every traversal) plus the window
+  // budget — instead of the whole file. `extra_bytes` covers mode-specific
+  // residents (the v2 decode buffer, transpose offsets).
+  static Status check_windowed_footprint(std::uint64_t n,
+                                         std::uint64_t window_bytes,
+                                         std::uint64_t extra_bytes,
+                                         const std::string& path);
 
   // Heap backend sized from untrusted header claims: check_footprint(), then
   // allocate. Throws kResource when the claim exceeds the ceiling. The
@@ -132,6 +283,18 @@ class GraphStorage {
       std::vector<StorageVertexId> decoded_targets,
       std::span<const StorageWeight> weights);
 
+  // Window-only backend for sharded compressed files: offsets (and weights)
+  // are zero-copy spans into the mapping but there is no whole-graph targets
+  // array — shards decode on demand into the MappedWindow's reusable buffer.
+  // targets() stays empty; consumers must go through the window (the
+  // traversal layer does; random-access algorithms are rejected upstream
+  // with a typed kUsage error).
+  static StorageRef mapped_windowed(std::shared_ptr<const MappedFile> file,
+                                    const std::string& path,
+                                    std::span<const StorageEdgeId> offsets,
+                                    std::span<const StorageWeight> weights,
+                                    std::uint64_t edge_count);
+
   std::span<const StorageEdgeId> offsets() const { return offsets_; }
   std::span<const StorageVertexId> targets() const { return targets_; }
   std::span<const StorageWeight> weights() const { return weights_; }
@@ -147,6 +310,40 @@ class GraphStorage {
   // so this is the graph's entire load-time I/O footprint.
   std::uint64_t bytes_mapped() const {
     return map_ != nullptr ? map_->size() : 0;
+  }
+  // Number of edges, independent of whether a whole-graph targets array
+  // exists (window-only storages have none; Graph::num_edges reads this).
+  std::uint64_t edge_count() const { return edge_count_; }
+  // Heap bytes held beside the mapping: the decoded targets of a hybrid
+  // compressed open, or a window's reusable decode buffer. Part of the
+  // admission/eviction accounting (registry Stats::resident_bytes).
+  std::uint64_t decode_heap_bytes() const { return decode_heap_bytes_; }
+  // What this handle actually keeps resident: mapping + decode heap for
+  // in-core backends; the priced windowed footprint for sharded ones (the
+  // whole file is mapped but only the window is hinted resident).
+  std::uint64_t resident_bytes() const {
+    if (resident_override_ != 0) return resident_override_;
+    return bytes_mapped() + decode_heap_bytes_;
+  }
+  // True when targets exist only shard-at-a-time (see mapped_windowed).
+  bool windowed() const { return window_only_; }
+
+  // --- sharded execution state ----------------------------------------------
+  // Set by the sharded `.pgr` open; the traversal layer discovers sharding
+  // through these. `resident_override` is the windowed footprint the open
+  // was priced at (0 keeps the default resident_bytes()).
+  void set_sharding(std::shared_ptr<const ShardPlan> plan,
+                    std::shared_ptr<MappedWindow> window,
+                    std::uint64_t resident_override) {
+    shard_plan_ = std::move(plan);
+    shard_window_ = std::move(window);
+    resident_override_ = resident_override;
+  }
+  const std::shared_ptr<const ShardPlan>& shard_plan() const {
+    return shard_plan_;
+  }
+  const std::shared_ptr<MappedWindow>& shard_window() const {
+    return shard_window_;
   }
   // Path of the backing file, when there is one (diagnostics, telemetry).
   const std::string& source_path() const { return source_path_; }
@@ -188,6 +385,12 @@ class GraphStorage {
   std::span<const StorageVertexId> targets_;
   std::span<const StorageWeight> weights_;
   std::string source_path_;
+  std::uint64_t edge_count_ = 0;
+  std::uint64_t decode_heap_bytes_ = 0;
+  std::uint64_t resident_override_ = 0;
+  bool window_only_ = false;
+  std::shared_ptr<const ShardPlan> shard_plan_;
+  std::shared_ptr<MappedWindow> shard_window_;
   mutable std::atomic<bool> validated_{false};
 
   mutable std::mutex transpose_mu_;

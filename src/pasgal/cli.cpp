@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "pasgal/options.h"
+#include "pasgal/resource.h"
 
 namespace pasgal::cli {
 
@@ -242,6 +243,9 @@ void CommonOptions::declare(OptionSet& opts) {
   opts.text("--json-metrics", &json_metrics, "path");
   opts.choice("--load", &load_mode, {"mmap", "copy"});
   opts.integer("--serve", &serve, 0, 1000000, "reopens");
+  opts.text("--shard-mb", &shard_mb, "mb|auto");
+  opts.integer("--mem-limit-mb", &mem_limit_mb, 1,
+               static_cast<long long>(internal::kMaxMemLimitMb), "mb");
 }
 
 }  // namespace pasgal::cli

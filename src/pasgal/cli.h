@@ -175,6 +175,13 @@ struct CommonOptions {
   // the GraphRegistry, so every warm re-open is a registry hit sharing the
   // cold mapping (see apps/common.h ServeHarness).
   long long serve = 0;
+  // Shard-at-a-time execution for `.pgr` inputs: a window size in MiB, or
+  // "auto" (shard only when the in-core footprint exceeds the memory
+  // ceiling). Empty = in-core. Parsed into a PgrShardSpec by apps/common.h.
+  std::string shard_mb;
+  // Memory-ceiling override in MiB (same knob as PASGAL_MEM_LIMIT_MB; both
+  // set at once is a kUsage conflict). 0 = no override.
+  long long mem_limit_mb = 0;
 
   void declare(OptionSet& opts);
 };

@@ -18,7 +18,9 @@
 // dense pull here with `pull_exhaustive` set.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "graphs/graph.h"
@@ -28,6 +30,22 @@
 #include "pasgal/vertex_subset.h"
 
 namespace pasgal {
+
+namespace internal {
+
+// Updates may optionally take the edge id as a third argument (weighted
+// traversals index the weights array with it). In sparse/push mode `e` is
+// the edge's global id in g; in dense/pull mode it is the in-edge's id in gt.
+template <typename F>
+inline bool invoke_update(F& f, VertexId u, VertexId v, EdgeId e) {
+  if constexpr (std::is_invocable_v<F&, VertexId, VertexId, EdgeId>) {
+    return f(u, v, e);
+  } else {
+    return f(u, v);
+  }
+}
+
+}  // namespace internal
 
 struct EdgeMapOptions {
   bool allow_dense = true;
@@ -63,26 +81,52 @@ VertexSubset edge_map_dense(const Graph& g, const Graph& gt,
   frontier.to_dense();
   const auto& in_frontier = frontier.dense_mask();
   std::vector<std::uint8_t> next(n, 0);
+  // One destination range, in-edge targets supplied by the caller (the whole
+  // mapped array in-core, the active shard's window when sharded).
   // Activations are counted as they happen, so the resulting subset's
-  // cardinality is known without VertexSubset::dense's O(n) recount.
-  std::size_t activated = reduce_indexed<std::size_t>(
-      n, 0, std::plus<std::size_t>{}, [&](std::size_t vi) -> std::size_t {
-        VertexId v = static_cast<VertexId>(vi);
-        if (!cond(v)) return 0;
-        std::uint64_t scanned = 0;
-        std::size_t hit = 0;
-        for (VertexId u : gt.neighbors(v)) {
-          ++scanned;
-          if (in_frontier[u] && update_seq(u, v)) {
-            next[vi] = 1;
-            hit = 1;
-            if (!opt.pull_exhaustive) break;  // activated; one hit decides v
+  // cardinality is known without VertexSubset::dense's O(n) recount — and
+  // counted per range, so per-shard sweeps sum to the identical total.
+  auto scan_range = [&](std::size_t v_begin, std::size_t v_end,
+                        const VertexId* tgt, EdgeId e_base) -> std::size_t {
+    return reduce_indexed<std::size_t>(
+        v_end - v_begin, 0, std::plus<std::size_t>{},
+        [&](std::size_t rel) -> std::size_t {
+          VertexId v = static_cast<VertexId>(v_begin + rel);
+          if (!cond(v)) return 0;
+          std::uint64_t scanned = 0;
+          std::size_t hit = 0;
+          EdgeId e_end = gt.edge_end(v);
+          for (EdgeId e = gt.edge_begin(v); e < e_end; ++e) {
+            VertexId u = tgt[e - e_base];
+            ++scanned;
+            if (in_frontier[u] &&
+                internal::invoke_update(update_seq, u, v, e)) {
+              next[v] = 1;
+              hit = 1;
+              if (!opt.pull_exhaustive) break;  // activated; one hit decides v
+            }
+            if (!cond(v)) break;  // saturated; nothing more to gather
           }
-          if (!cond(v)) break;  // saturated; nothing more to gather
-        }
-        if (stats) stats->add_edges(scanned);
-        return hit;
-      });
+          if (stats) stats->add_edges(scanned);
+          return hit;
+        });
+  };
+  std::size_t activated = 0;
+  const auto& window =
+      gt.storage() != nullptr ? gt.storage()->shard_window() : nullptr;
+  if (window == nullptr) {
+    activated = scan_range(0, n, gt.targets().data(), 0);
+  } else {
+    // Pull scans in-edges, so the sweep follows gt's shard plan: each shard
+    // covers a contiguous destination range and its in-edge payload.
+    const ShardPlan& plan = window->plan();
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+      if (opt.cancel != nullptr) opt.cancel->check("shard sweep boundary");
+      MappedWindow::ActiveShard shard = window->activate(s);
+      activated += scan_range(plan[s].v_begin, plan[s].v_end, shard.targets,
+                              shard.e_base);
+    }
+  }
   if (stats) stats->add_visits(n);
   return VertexSubset::dense(std::move(next), activated);
 }
@@ -106,23 +150,69 @@ VertexSubset edge_map_sparse(const Graph& g, VertexSubset& frontier,
   offsets[k] = scan_indexed<EdgeId>(
       k, [&](std::size_t i) { return g.out_degree(verts[i]); },
       [&](std::size_t i, EdgeId v) { offsets[i] = v; });
-  std::vector<VertexId> out(offsets[k], kInvalidVertex);
-  parallel_for(0, k, [&](std::size_t i) {
-    VertexId u = verts[i];
-    EdgeId base = offsets[i];
-    std::uint64_t scanned = 0;
-    EdgeId slot = 0;
-    for (VertexId v : g.neighbors(u)) {
-      ++scanned;
-      if (cond(v) && update(u, v)) out[base + slot++] = v;
-    }
-    if (stats) {
-      stats->add_edges(scanned);
-      stats->add_visits(1);
-    }
-  });
-  auto next = filter(std::span<const VertexId>(out),
-                     [](VertexId v) { return v != kInvalidVertex; });
+  // Process the frontier slice [lo, hi) with the given targets view, writing
+  // activations at out[offsets[i] - out_base ..].
+  auto push_slice = [&](std::size_t lo, std::size_t hi, const VertexId* tgt,
+                        EdgeId e_base, VertexId* out, EdgeId out_base) {
+    parallel_for(lo, hi, [&](std::size_t i) {
+      VertexId u = verts[i];
+      EdgeId base = offsets[i] - out_base;
+      std::uint64_t scanned = 0;
+      EdgeId slot = 0;
+      EdgeId e_end = g.edge_end(u);
+      for (EdgeId e = g.edge_begin(u); e < e_end; ++e) {
+        VertexId v = tgt[e - e_base];
+        ++scanned;
+        if (cond(v) && internal::invoke_update(update, u, v, e)) {
+          out[base + slot++] = v;
+        }
+      }
+      if (stats) {
+        stats->add_edges(scanned);
+        stats->add_visits(1);
+      }
+    });
+  };
+  const auto& window =
+      g.storage() != nullptr ? g.storage()->shard_window() : nullptr;
+  if (window == nullptr) {
+    std::vector<VertexId> out(offsets[k], kInvalidVertex);
+    push_slice(0, k, g.targets().data(), 0, out.data(), 0);
+    auto next = filter(std::span<const VertexId>(out),
+                       [](VertexId v) { return v != kInvalidVertex; });
+    return VertexSubset::sparse(n, std::move(next));
+  }
+  // Sharded push: the sparse list is sorted (VertexSubset invariant), so
+  // the frontier partitions into contiguous per-shard slices found by
+  // binary search; shards without frontier vertices are never activated.
+  // Each slice gets its own scatter buffer — a slice's out-degree sum is
+  // capped by its shard's edge count, so sparse-round scratch stays within
+  // the window budget instead of scaling with the whole frontier's
+  // out-degree. Slices are packed in frontier order, so the concatenated
+  // activation list is identical to the one the single-buffer path packs.
+  const ShardPlan& plan = window->plan();
+  std::vector<VertexId> next;
+  std::vector<VertexId> slice_out;
+  std::size_t i = 0;
+  while (i < k) {
+    std::size_t s = plan.shard_of(verts[i]);
+    std::size_t j =
+        static_cast<std::size_t>(std::lower_bound(verts.begin() +
+                                                      static_cast<std::ptrdiff_t>(i),
+                                                  verts.end(),
+                                                  plan[s].v_end) -
+                                 verts.begin());
+    if (opt.cancel != nullptr) opt.cancel->check("shard sweep boundary");
+    MappedWindow::ActiveShard shard = window->activate(s);
+    slice_out.assign(static_cast<std::size_t>(offsets[j] - offsets[i]),
+                     kInvalidVertex);
+    push_slice(i, j, shard.targets, shard.e_base, slice_out.data(),
+               offsets[i]);
+    auto kept = filter(std::span<const VertexId>(slice_out),
+                       [](VertexId v) { return v != kInvalidVertex; });
+    next.insert(next.end(), kept.begin(), kept.end());
+    i = j;
+  }
   return VertexSubset::sparse(n, std::move(next));
 }
 

@@ -11,6 +11,7 @@
 //   3. else a conservative 4 GiB default (non-Linux / unreadable procfs).
 #pragma once
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -67,9 +68,33 @@ inline std::uint64_t detect_memory_limit_bytes() {
   return std::uint64_t{4} * 1024 * 1024 * 1024;
 }
 
+// CLI override of the ceiling (--mem-limit-mb). 0 = no override; consulted
+// before the once-per-process detection so a driver flag can lower or raise
+// the ceiling without mutating the environment.
+inline std::atomic<std::uint64_t>& mem_limit_override_bytes() {
+  static std::atomic<std::uint64_t> value{0};
+  return value;
+}
+
 }  // namespace internal
 
+// Installs the --mem-limit-mb override. The flag and the environment
+// variable are two owners of the same knob; both set at once is a conflict
+// the user should resolve, not a silent precedence rule.
+inline void set_memory_limit_mb(unsigned long long mb) {
+  if (std::getenv("PASGAL_MEM_LIMIT_MB") != nullptr) {
+    throw Error(ErrorCategory::kUsage,
+                "--mem-limit-mb conflicts with PASGAL_MEM_LIMIT_MB in the "
+                "environment: set one, not both");
+  }
+  internal::mem_limit_override_bytes().store(
+      internal::mem_limit_mb_to_bytes(mb), std::memory_order_relaxed);
+}
+
 inline std::uint64_t memory_limit_bytes() {
+  std::uint64_t forced =
+      internal::mem_limit_override_bytes().load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
   static const std::uint64_t limit = internal::detect_memory_limit_bytes();
   return limit;
 }

@@ -119,6 +119,35 @@ std::uint64_t kv_int(const Request& req, const char* key,
       cli::parse_int(it->second, key, 0, max_value, ErrorCategory::kUsage));
 }
 
+// Windowed resident footprint for admission: offsets stay resident, the
+// window bounds the targets payload, a compressed open adds its reusable
+// decode buffer (at most one window's worth of edges), and transpose
+// sections pay their own offsets + window. Mirrors the pricing the sharded
+// open itself applies (GraphStorage::check_windowed_footprint).
+std::uint64_t windowed_need(const PgrInfo& info, std::uint64_t window) {
+  std::uint64_t per = (info.n + 1) * sizeof(std::uint64_t) + window;
+  std::uint64_t need = per + (info.compressed ? window : 0);
+  if (info.has_transpose) need += per;
+  return need;
+}
+
+// The "shard" metrics object for a sharded query response (same shape the
+// drivers emit via apps::record_shard): plan size + window budget and the
+// activation counters summed over forward + transpose windows.
+void record_shard(MetricsDoc& doc, const Graph& g) {
+  const StorageRef& storage = g.storage();
+  if (storage == nullptr || storage->shard_window() == nullptr) return;
+  const MappedWindow& w = *storage->shard_window();
+  std::uint64_t sweeps = w.sweeps();
+  std::uint64_t faults = w.faults();
+  if (StorageRef t = storage->transpose_cache();
+      t != nullptr && t->shard_window() != nullptr) {
+    sweeps += t->shard_window()->sweeps();
+    faults += t->shard_window()->faults();
+  }
+  doc.set_shard(w.plan().size(), w.plan().window_bytes(), sweeps, faults);
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
@@ -358,41 +387,72 @@ std::string Server::handle_request(const std::string& line) {
   }
 }
 
-void Server::admit(const std::string& path) {
+PgrShardSpec Server::admit(const std::string& path) {
   // Header-only probe: costs one pread-sized mapping, no section bytes.
   // Throws the reader's typed kIo/kFormat on a missing/corrupt file, which
   // is the right response before any admission math.
   PgrInfo info = probe_pgr(path);
-  std::uint64_t need = info.file_bytes;
-  if (info.compressed) {
-    // Compressed targets decode into a heap array on open.
-    need += info.m * sizeof(VertexId);
-  }
   std::uint64_t budget = admission_budget();
   GraphRegistry& reg = GraphRegistry::instance();
-  std::uint64_t resident = reg.stats().resident_bytes;
-  if (resident + need > budget) {
-    reg.evict_lru(resident + need - budget);
-    resident = reg.stats().resident_bytes;
+
+  // Evict unpinned LRU entries until `need` fits the budget; throws the
+  // typed kResource when nothing evictable remains and it still does not.
+  auto free_up = [&](std::uint64_t need) {
+    std::uint64_t resident = reg.stats().resident_bytes;
+    if (resident + need > budget) {
+      reg.evict_lru(resident + need - budget);
+      resident = reg.stats().resident_bytes;
+    }
+    if (resident + need > budget) {
+      throw Error(
+          ErrorCategory::kResource,
+          "admission: graph needs " + std::to_string(need) +
+              " bytes but only " +
+              std::to_string(budget > resident ? budget - resident : 0) +
+              " of the " + std::to_string(budget) +
+              "-byte budget is free (" + std::to_string(resident) +
+              " resident, nothing evictable left)",
+          path);
+    }
+  };
+
+  if (opts_.shard_window_bytes != 0) {
+    // Fixed server-wide window: every open is sharded and priced at its
+    // windowed footprint (the whole file is mapped but not resident).
+    PgrShardSpec spec;
+    spec.window_bytes = opts_.shard_window_bytes;
+    free_up(windowed_need(info, spec.window_bytes));
+    return spec;
   }
-  if (resident + need > budget) {
-    throw Error(ErrorCategory::kResource,
-                "admission: graph needs " + std::to_string(need) +
-                    " bytes but only " +
-                    std::to_string(budget > resident ? budget - resident : 0) +
-                    " of the " + std::to_string(budget) +
-                    "-byte budget is free (" + std::to_string(resident) +
-                    " resident, nothing evictable left)",
-                path);
+
+  std::uint64_t in_core = info.file_bytes;
+  if (info.compressed) {
+    // Compressed targets decode into a heap array on an in-core open.
+    in_core += info.m * sizeof(VertexId);
   }
+  if (opts_.shard_auto) {
+    // Shard only when in-core admission is hopeless even with the whole
+    // budget free: otherwise prefer the shared resident mapping.
+    if (in_core > budget) {
+      PgrShardSpec spec;
+      spec.window_bytes =
+          std::max<std::uint64_t>(budget / 4, std::uint64_t{1} << 20);
+      free_up(windowed_need(info, spec.window_bytes));
+      return spec;
+    }
+  }
+  free_up(in_core);
+  return {};
 }
 
-void Server::ensure_open(const std::string& path) {
+PgrShardSpec Server::ensure_open(const std::string& path) {
   GraphRegistry& reg = GraphRegistry::instance();
   // retain() doubles as the residency probe: true means a live mapping
-  // exists (and is now kept alive for future requests).
-  if (reg.retain(path)) return;
-  admit(path);
+  // exists (and is now kept alive for future requests). With a fixed shard
+  // window the registry is bypassed entirely — every query owns a window.
+  if (opts_.shard_window_bytes == 0 && reg.retain(path)) return {};
+  PgrShardSpec spec = admit(path);
+  if (spec.enabled()) return spec;  // the query opens its own window
   {
     // read_pgr may decode compressed targets with parallel_for: scheduler
     // work, so it takes the exec lock like any query (see server.h).
@@ -402,30 +462,46 @@ void Server::ensure_open(const std::string& path) {
     // entry is a tombstone and retain() would miss.
     reg.retain(path);
   }
+  return {};
 }
 
 std::string Server::do_open(const std::string& path, bool pin) {
   GraphRegistry& reg = GraphRegistry::instance();
-  bool warm = reg.retain(path);
+  bool warm = opts_.shard_window_bytes == 0 && reg.retain(path);
+  PgrShardSpec spec;
   if (!warm) {
-    admit(path);
+    spec = admit(path);
+    if (spec.enabled() && pin) {
+      throw Error(ErrorCategory::kUsage,
+                  "open: pin conflicts with sharded mode — a sharded open is "
+                  "a per-query window, there is no resident mapping to pin",
+                  path);
+    }
     std::lock_guard<std::mutex> exec(exec_mu_);
-    Graph g = read_pgr(path);
+    // A sharded open validates shard-at-a-time and is dropped right after:
+    // `open` then means "readable, well-formed, admitted", and each query
+    // re-opens its own window.
+    Graph g = read_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
     (void)g;
-    reg.retain(path);
+    if (!spec.enabled()) reg.retain(path);
   }
   if (pin) reg.pin(path);
   PgrInfo info = probe_pgr(path);
-  return "ok opened graph=" + path + " n=" + std::to_string(info.n) +
-         " m=" + std::to_string(info.m) +
-         " bytes=" + std::to_string(info.file_bytes) +
-         " warm=" + (warm ? "1" : "0") + " pinned=" + (pin ? "1" : "0");
+  std::string out = "ok opened graph=" + path + " n=" + std::to_string(info.n) +
+                    " m=" + std::to_string(info.m) +
+                    " bytes=" + std::to_string(info.file_bytes) +
+                    " warm=" + (warm ? "1" : "0") +
+                    " pinned=" + (pin ? "1" : "0");
+  if (spec.enabled()) {
+    out += " sharded=1 window_bytes=" + std::to_string(spec.window_bytes);
+  }
+  return out;
 }
 
 std::string Server::do_query(const std::string& cmd, const std::string& path,
                              std::uint64_t source, const std::string& algo,
                              std::uint64_t deadline_ms) {
-  ensure_open(path);
+  PgrShardSpec spec = ensure_open(path);
 
   CancelToken token;
   if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
@@ -440,7 +516,9 @@ std::string Server::do_query(const std::string& cmd, const std::string& path,
   std::lock_guard<std::mutex> exec(exec_mu_);
 
   if (cmd == "bfs") {
-    Graph g = read_pgr(path);  // registry hit: shares the retained mapping
+    // In-core: registry hit sharing the retained mapping. Sharded: a fresh
+    // windowed open owned by this query alone.
+    Graph g = read_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
     if (source >= g.num_vertices()) {
       throw Error(ErrorCategory::kUsage,
                   "source=" + std::to_string(source) + " out of range (n=" +
@@ -460,26 +538,30 @@ std::string Server::do_query(const std::string& cmd, const std::string& path,
     doc.set_param("source", source);
     if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
     doc.add_trial(report.seconds, report.telemetry);
+    record_shard(doc, g);
     return doc.to_json();
   }
 
   // sssp: the file must carry a weights section (typed error otherwise).
-  if (algo != "rho" && algo != "delta") {
+  if (algo != "rho" && algo != "delta" && algo != "em") {
     throw Error(ErrorCategory::kUsage,
-                "sssp: unknown algo '" + algo + "' (expected rho|delta)");
+                "sssp: unknown algo '" + algo + "' (expected rho|delta|em)");
   }
-  WeightedGraph<std::uint32_t> wg = read_weighted_pgr(path);
+  WeightedGraph<std::uint32_t> wg =
+      read_weighted_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
   if (source >= wg.num_vertices()) {
     throw Error(ErrorCategory::kUsage,
                 "source=" + std::to_string(source) + " out of range (n=" +
                     std::to_string(wg.num_vertices()) + ")");
   }
   opt.sssp_delta_mode = algo == "delta";
-  RunReport<std::vector<Dist>> report = stepping_sssp(wg, opt);
+  RunReport<std::vector<Dist>> report =
+      algo == "em" ? em_bellman_ford(wg, opt) : stepping_sssp(wg, opt);
   MetricsDoc doc("sssp", algo, path, wg.num_vertices(), wg.num_edges());
   doc.set_param("source", source);
   if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
   doc.add_trial(report.seconds, report.telemetry);
+  record_shard(doc, wg.unweighted());
   return doc.to_json();
 }
 
@@ -487,7 +569,7 @@ std::string Server::do_batch(const std::string& cmd, const std::string& path,
                              const std::vector<std::uint32_t>& sources,
                              const std::string& algo,
                              std::uint64_t deadline_ms) {
-  ensure_open(path);
+  PgrShardSpec spec = ensure_open(path);
 
   CancelToken token;
   if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
@@ -505,7 +587,7 @@ std::string Server::do_batch(const std::string& cmd, const std::string& path,
                       "' has no batch mode (sources= runs the bit-parallel "
                       "ms kernel)");
     }
-    Graph g = read_pgr(path);  // registry hit: shares the retained mapping
+    Graph g = read_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
     Graph gt = g.transpose();
     // ms_bfs range-checks the sources against this graph (typed kUsage).
     BatchReport<std::vector<std::uint32_t>> report = ms_bfs(g, gt, bopt);
@@ -513,6 +595,7 @@ std::string Server::do_batch(const std::string& cmd, const std::string& path,
     if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
     doc.set_batch(sources, report.seconds);
     doc.add_trial(report.seconds, report.telemetry);
+    record_shard(doc, g);
     return doc.to_json();
   }
 
@@ -520,13 +603,15 @@ std::string Server::do_batch(const std::string& cmd, const std::string& path,
     throw Error(ErrorCategory::kUsage,
                 "sssp: unknown algo '" + algo + "' (expected rho|delta)");
   }
-  WeightedGraph<std::uint32_t> wg = read_weighted_pgr(path);
+  WeightedGraph<std::uint32_t> wg =
+      read_weighted_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
   bopt.algo.sssp_delta_mode = algo == "delta";
   BatchReport<std::vector<Dist>> report = batch_sssp(wg, bopt);
   MetricsDoc doc("sssp", algo, path, wg.num_vertices(), wg.num_edges());
   if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
   doc.set_batch(sources, report.seconds);
   doc.add_trial(report.seconds, report.telemetry);
+  record_shard(doc, wg.unweighted());
   return doc.to_json();
 }
 

@@ -23,6 +23,10 @@
 //     lets in-flight requests finish, and run() returns cleanly.
 //   * Fault injection — the pasgal/fault.h failpoints (mmap, decode, alloc,
 //     sock_write) make each of those paths executable on demand.
+//   * Sharded execution — with --shard-mb (ServerOptions::shard_window_bytes
+//     or shard_auto) queries open their graph through a bounded mmap window
+//     instead of a registry-resident mapping; admission prices the windowed
+//     footprint and the metrics JSON gains a "shard" section.
 //
 // Protocol: newline-terminated requests, exactly one newline-terminated
 // response per request.
@@ -30,8 +34,10 @@
 //   open graph=<path.pgr> [pin]        -> ok opened ...        (admission)
 //   bfs graph=<p> source=<v> [algo=pasgal|gbbs] [deadline_ms=<n>]
 //                                      -> pasgal.metrics v1 JSON (one line)
-//   sssp graph=<p> source=<v> [algo=rho|delta] [deadline_ms=<n>]
-//                                      -> pasgal.metrics v1 JSON (one line)
+//   sssp graph=<p> source=<v> [algo=rho|delta|em] [deadline_ms=<n>]
+//                                      -> pasgal.metrics v1 JSON (one line);
+//                                         algo=em is the edge_map Bellman-Ford
+//                                         that stays correct on sharded opens
 //   bfs graph=<p> sources=<v0,v1,...> [deadline_ms=<n>]
 //                                      -> batched: one ms_bfs sweep advances
 //                                         every source; the JSON document
@@ -69,6 +75,8 @@
 #include <thread>
 #include <vector>
 
+#include "graphs/graph_io.h"
+
 namespace pasgal {
 
 struct ServerOptions {
@@ -86,6 +94,15 @@ struct ServerOptions {
 
   // Deadline applied to queries that don't pass deadline_ms=. 0 = none.
   std::uint64_t default_deadline_ms = 0;
+
+  // Shard-at-a-time query execution (--shard-mb). A non-zero window makes
+  // every query open its graph sharded through a bounded mmap window of this
+  // many bytes — such opens bypass the registry (each query owns its window)
+  // and admission prices the windowed footprint, not the file. shard_auto
+  // instead shards only graphs whose in-core footprint cannot fit the
+  // admission budget even after LRU eviction, using a budget/4 window.
+  std::uint64_t shard_window_bytes = 0;
+  bool shard_auto = false;
 
   // Poll tick for the accept and connection loops: the latency bound on
   // noticing request_stop() while idle.
@@ -141,11 +158,16 @@ class Server {
   std::string do_evict(const std::string& path);
 
   // Admission check for a .pgr not currently resident; throws kResource
-  // when the budget cannot be met even after LRU eviction.
-  void admit(const std::string& path);
+  // when the budget cannot be met even after LRU eviction. Returns the
+  // shard spec this open must use: empty for in-core, a concrete window
+  // when the server shards (fixed shard_window_bytes, or the shard_auto
+  // fallback for graphs that cannot fit in-core).
+  PgrShardSpec admit(const std::string& path);
 
-  // Ensures `path` is open and retained (auto-open for queries).
-  void ensure_open(const std::string& path);
+  // Ensures `path` is open and retained (auto-open for queries) when the
+  // effective spec is in-core; sharded specs are returned for the query to
+  // open its own window (nothing registry-resident to retain).
+  PgrShardSpec ensure_open(const std::string& path);
 
   void accept_loop();
   void handle_connection(int fd);

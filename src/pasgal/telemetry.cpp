@@ -548,6 +548,21 @@ void MetricsDoc::set_batch(const std::vector<std::uint32_t>& sources,
   batch_json_ = std::move(out);
 }
 
+void MetricsDoc::set_shard(std::uint64_t shards, std::uint64_t window_bytes,
+                           std::uint64_t shard_sweeps,
+                           std::uint64_t window_faults) {
+  std::string out = "{";
+  append_kv(out, "shards", shards);
+  out += ',';
+  append_kv(out, "window_bytes", window_bytes);
+  out += ',';
+  append_kv(out, "shard_sweeps", shard_sweeps);
+  out += ',';
+  append_kv(out, "window_faults", window_faults);
+  out += '}';
+  shard_json_ = std::move(out);
+}
+
 std::string MetricsDoc::to_json() const {
   std::string out = "{\"schema\":\"";
   out += kMetricsSchema;
@@ -577,6 +592,10 @@ std::string MetricsDoc::to_json() const {
   if (!batch_json_.empty()) {
     out += ",\"batch\":";
     out += batch_json_;
+  }
+  if (!shard_json_.empty()) {
+    out += ",\"shard\":";
+    out += shard_json_;
   }
   out += ",\"trials\":[";
   for (std::size_t i = 0; i < trials_.size(); ++i) {
@@ -840,6 +859,34 @@ Status validate_metrics(const json::Value& doc) {
       return schema_fail("batch.batch_seconds negative");
     }
     if (qps->number < 0) return schema_fail("batch.qps negative");
+  }
+
+  // Sharded runs carry a top-level "shard" object (set_shard): the plan
+  // (count + window budget) and the window activation counters.
+  if (const json::Value* shard = doc.find("shard")) {
+    if (!shard->is_object()) return schema_fail("shard is not an object");
+    const json::Value* shards =
+        require(*shard, "shards", json::Value::Kind::kNumber, st, "shard");
+    const json::Value* window = require(*shard, "window_bytes",
+                                        json::Value::Kind::kNumber, st,
+                                        "shard");
+    const json::Value* sweeps = require(*shard, "shard_sweeps",
+                                        json::Value::Kind::kNumber, st,
+                                        "shard");
+    const json::Value* faults = require(*shard, "window_faults",
+                                        json::Value::Kind::kNumber, st,
+                                        "shard");
+    if (!st.ok()) return st;
+    if (shards->number < 1) return schema_fail("shard.shards < 1");
+    if (window->number < 1) return schema_fail("shard.window_bytes < 1");
+    if (sweeps->number < 0 || faults->number < 0) {
+      return schema_fail("shard counters must be non-negative");
+    }
+    // A fault is a re-activation of a previously-visited shard; every fault
+    // is also a sweep, so faults can never outnumber sweeps.
+    if (faults->number > sweeps->number) {
+      return schema_fail("shard.window_faults > shard.shard_sweeps");
+    }
   }
 
   for (std::size_t i = 0; i < trials->array.size(); ++i) {

@@ -268,6 +268,14 @@ class MetricsDoc {
   void set_batch(const std::vector<std::uint32_t>& sources,
                  double batch_seconds);
 
+  // Shard-at-a-time execution: the open's shard plan (count + window budget)
+  // and the window's activation counters summed over the run, emitted as a
+  // top-level "shard" object
+  //   {"shards":k,"window_bytes":w,"shard_sweeps":s,"window_faults":f}
+  // between batch (if any) and trials. Absent for in-core runs.
+  void set_shard(std::uint64_t shards, std::uint64_t window_bytes,
+                 std::uint64_t shard_sweeps, std::uint64_t window_faults);
+
   std::size_t num_trials() const { return trials_.size(); }
   std::string to_json() const;
 
@@ -277,6 +285,7 @@ class MetricsDoc {
   int workers_;
   std::vector<std::pair<std::string, std::string>> params_;  // name -> encoded
   std::string batch_json_;  // encoded "batch" object; empty = single-source
+  std::string shard_json_;  // encoded "shard" object; empty = in-core
   struct Trial {
     double seconds;
     RunTelemetry telemetry;
