@@ -1,0 +1,105 @@
+// PageRank driver (mirrors the upstream PASGAL per-algorithm executables).
+// The pull accumulation runs over the transpose, so a .pgr input needs
+// transpose sections (graph_convert --transpose) unless it is a generated
+// spec; the pasgal variant works on sharded opens (the dense pull walks the
+// transpose's shard plan), seq is in-core only.
+//
+//   pagerank <graph> [-a pasgal|seq] [-i max_iterations] [--epsilon eps]
+//            [--damping d] [-r repeats] [--serve N] [--validate]
+//            [--json-metrics <path>]
+//
+// The result line prints with %.17g (round-trip precision) so the identity
+// gates in bench/check.sh can diff ranks byte-for-byte across load modes,
+// worker counts, and sharded vs in-core runs.
+//
+// Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
+#include <optional>
+
+#include "algorithms/pagerank/pagerank.h"
+#include "common.h"
+
+using namespace pasgal;
+
+int main(int argc, char** argv) {
+  std::string algo = "pasgal";
+  long long iterations = 100;
+  double epsilon = 1e-7;
+  double damping = 0.85;
+  cli::OptionSet opts;
+  cli::CommonOptions common;
+  opts.choice("-a", &algo, {"pasgal", "seq"})
+      .integer("-i", &iterations, 1, 1000000, "max_iterations")
+      .real("--epsilon", &epsilon, 0.0, 1.0, "eps")
+      .real("--damping", &damping, 0.0, 1.0, "d");
+  common.declare(opts);
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <graph> %s\n", argv[0],
+                 opts.usage().c_str());
+    return 2;
+  }
+  return apps::run_app([&]() {
+    opts.parse(argc, argv, 2);
+
+    apps::ServeHarness serve(argv[1], common);
+    apps::LoadedGraph loaded;
+    std::optional<MetricsDoc> doc;
+    bool recorded_result = false;
+    while (serve.next()) {
+      loaded = serve.open(common);
+      Graph& g = loaded.graph;
+      Graph gt = g.transpose();
+      std::printf("graph: n=%zu m=%zu, algorithm=%s, workers=%d\n",
+                  g.num_vertices(), g.num_edges(), algo.c_str(),
+                  num_workers());
+      std::printf("load: %s in %.4f s (%llu bytes mapped)\n",
+                  loaded.mode.c_str(), loaded.seconds,
+                  (unsigned long long)loaded.bytes_mapped);
+
+      Tracer tracer;
+      AlgoOptions aopt;
+      aopt.pagerank_iterations = static_cast<std::uint32_t>(iterations);
+      aopt.pagerank_epsilon = epsilon;
+      aopt.pagerank_damping = damping;
+      aopt.validate = common.validate;
+      aopt.tracer = &tracer;
+
+      if (!doc) {
+        doc.emplace("pagerank", algo, argv[1], g.num_vertices(),
+                    g.num_edges());
+        doc->set_param("max_iterations",
+                       static_cast<std::uint64_t>(iterations));
+        doc->set_param("epsilon", epsilon);
+        doc->set_param("damping", damping);
+      }
+
+      for (long long r = 0; r < common.repeats; ++r) {
+        RunReport<PagerankResult> report = algo == "pasgal"
+                                               ? pasgal_pagerank(g, gt, aopt)
+                                               : seq_pagerank(g, gt, aopt);
+        apps::print_stats(algo.c_str(), report.seconds, tracer);
+        doc->add_trial(report.seconds, report.telemetry);
+        if (r == 0 && !recorded_result) {
+          recorded_result = true;
+          doc->set_param("iterations",
+                         static_cast<std::uint64_t>(report.output.iterations));
+        }
+        if (r == 0) {
+          const std::vector<double>& rank = report.output.rank;
+          std::size_t best = 0;
+          for (std::size_t v = 1; v < rank.size(); ++v) {
+            if (rank[v] > rank[best]) best = v;
+          }
+          std::printf("converged after %u rounds (delta %.17g), top vertex "
+                      "%zu with rank %.17g\n",
+                      report.output.iterations, report.output.delta, best,
+                      rank.empty() ? 0.0 : rank[best]);
+        }
+      }
+    }
+    apps::record_load(*doc, loaded);
+    apps::record_shard(*doc, loaded.graph);
+    serve.record(*doc);
+    apps::finish_metrics(common, *doc);
+    return 0;
+  });
+}

@@ -20,7 +20,7 @@ cmake --build "$prefix-san" -j > /dev/null
 
 echo "--- sanitized input-hardening tests ---"
 (cd "$prefix-san" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|test_registry|test_resource|app_exit_|storage_|registry_')
+    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|test_registry|test_resource|test_pagerank|test_tc|app_exit_|storage_|registry_')
 
 echo "--- sanitized app drivers (success paths, with metrics emission) ---"
 tmp="$(mktemp -d)"
@@ -31,15 +31,20 @@ trap 'rm -rf "$tmp"' EXIT
 "$prefix-san/apps/sssp" "$tmp/grid.bin" --validate -a delta -r 1 --json-metrics "$tmp/sssp.json" > /dev/null
 "$prefix-san/apps/scc"  road:30:30 -r 1 --json-metrics "$tmp/scc.json" > /dev/null
 "$prefix-san/apps/bcc"  grid:30:30 -r 1 --json-metrics "$tmp/bcc.json" > /dev/null
+"$prefix-san/apps/cc"   grid:30:30 -r 1 --json-metrics "$tmp/cc.json" > /dev/null
+"$prefix-san/apps/kcore" grid:30:30 -r 1 --json-metrics "$tmp/kcore.json" > /dev/null
+"$prefix-san/apps/pagerank" chain:2000 -r 1 --json-metrics "$tmp/pagerank.json" > /dev/null
+"$prefix-san/apps/tc"   grid:30:30 -r 1 --json-metrics "$tmp/tc.json" > /dev/null
 
 echo "--- metrics schema gate (drivers + bench envelope) ---"
 "$prefix-san/apps/metrics_check" "$tmp"/bfs.json "$tmp"/sssp.json \
-    "$tmp"/scc.json "$tmp"/bcc.json
+    "$tmp"/scc.json "$tmp"/bcc.json "$tmp"/cc.json "$tmp"/kcore.json \
+    "$tmp"/pagerank.json "$tmp"/tc.json
 
 echo "--- storage backends (heap vs mmap must be observationally identical) ---"
 "$prefix-san/apps/graph_convert" "$tmp/grid.bin" "$tmp/grid.pgr" \
     --transpose --validate > /dev/null
-for app in bfs scc bcc sssp; do
+for app in bfs scc bcc sssp cc kcore pagerank tc; do
   # Normalize per-run wall times and drop backend-specific lines so the diff
   # compares algorithm results (counts, rounds, edges scanned) only.
   normalize() {
@@ -65,7 +70,7 @@ echo "--- compressed .pgr gate (v2 targets section) ---"
 # trio (encoded_bytes / compression_ratio / decode_wall_ns).
 "$prefix-san/apps/graph_convert" "$tmp/grid.pgr" "$tmp/grid_c.pgr" \
     --transpose --compress > /dev/null
-for app in bfs scc bcc sssp; do
+for app in bfs scc bcc sssp cc kcore pagerank tc; do
   "$prefix-san/apps/$app" "$tmp/grid_c.pgr" --load mmap -r 1 \
       --json-metrics "$tmp/${app}_comp.json" | normalize > "$tmp/${app}_comp.txt"
   diff "$tmp/${app}_mmap.txt" "$tmp/${app}_comp.txt" || {
@@ -199,7 +204,8 @@ drain() {  # $1 = daemon pid, $2 = daemon log
 "$prefix/apps/graph_gen" chain:200000 "$tmp/d_long.pgr" > /dev/null
 "$prefix/apps/graph_convert" chain:3000 "$tmp/d_w.pgr" --weights 10 > /dev/null
 
-# 8 concurrent clients hammering one daemon with a bfs/sssp/open/stats mix.
+# 8 concurrent clients hammering one daemon with the full verb mix
+# (bfs/sssp plus the four whole-graph families) and open/stats.
 rm -f "$sock"
 "$SERVE" --socket "$sock" > "$tmp/daemon1.log" 2>&1 &
 dpid=$!
@@ -211,6 +217,10 @@ while [ "$i" -lt 8 ]; do
       "bfs graph=$tmp/d_c.pgr source=$i" \
       "sssp graph=$tmp/d_w.pgr source=$i" \
       "bfs graph=$tmp/d_c.pgr source=0 algo=gbbs" \
+      "cc graph=$tmp/d_c.pgr" \
+      "kcore graph=$tmp/d_c.pgr algo=seq" \
+      "pagerank graph=$tmp/d_c.pgr" \
+      "tc graph=$tmp/d_c.pgr" \
       "stats" > "$tmp/client$i.out" 2>&1 &
   eval "cpid$i=\$!"
   i=$((i + 1))
@@ -244,6 +254,22 @@ case "$to_resp" in
 esac
 "$SERVE" --socket "$sock" --client "bfs graph=$tmp/d_long.pgr source=0" \
     > /dev/null
+
+# Same contract for a whole-graph family verb: pagerank checks the deadline
+# at every iteration boundary, expiry is typed, and the pool survives.
+set +e
+fam_resp=$("$SERVE" --socket "$sock" --client \
+    "pagerank graph=$tmp/d_long.pgr deadline_ms=1")
+fam_rc=$?
+set -e
+[ "$fam_rc" -eq 5 ] || {
+  echo "FAIL: pagerank deadline client exited $fam_rc, expected 5" >&2; exit 1
+}
+case "$fam_resp" in
+  'error [timeout]'*) ;;
+  *) echo "FAIL: pagerank deadline response was '$fam_resp'" >&2; exit 1 ;;
+esac
+"$SERVE" --socket "$sock" --client "tc graph=$tmp/d_c.pgr" > /dev/null
 drain "$dpid" "$tmp/daemon1.log"
 
 # One injected fault per failure category (PASGAL_FAULT fires once, then the

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graphs/graph.h"
+#include "pasgal/options.h"
 #include "pasgal/stats.h"
 
 namespace pasgal {
@@ -33,5 +34,10 @@ LddResult ldd(const Graph& g, double beta = 0.2, std::uint64_t seed = 1,
 // connected_components) computed by repeated LDD + contraction.
 std::vector<VertexId> ldd_cc(const Graph& g, double beta = 0.2,
                              std::uint64_t seed = 1, RunStats* stats = nullptr);
+
+// --- Modern entry point (algorithms/run_api.cpp) ----------------------------
+// beta/seed ride AlgoOptions::scc_beta / scc_seed (the same knobs the SCC
+// pivot batching uses).
+RunReport<std::vector<VertexId>> ldd_cc(const Graph& g, const AlgoOptions& opt);
 
 }  // namespace pasgal

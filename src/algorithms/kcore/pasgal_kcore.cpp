@@ -29,6 +29,9 @@ constexpr std::size_t kWindow = 64;  // open buckets [base, base + kWindow)
 // vertices), collapsing O(length)-round peeling chains into one round.
 std::vector<std::uint32_t> pasgal_kcore(const Graph& g, KcoreParams params,
                                         RunStats* stats) {
+  // degree[u].fetch_sub below indexes unchecked neighbour ids; an
+  // un-deep-validated mmap open must fail typed, not corrupt the buckets.
+  g.ensure_validated();
   std::size_t n = g.num_vertices();
   std::vector<std::atomic<std::uint32_t>> degree(n);
   std::vector<std::atomic<std::uint8_t>> peeled(n);

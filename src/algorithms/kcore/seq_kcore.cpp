@@ -7,6 +7,7 @@ namespace pasgal {
 // coreness, and decrement its unpeeled neighbours (moving them down one
 // bucket). O(n + m), the standard sequential baseline.
 std::vector<std::uint32_t> seq_kcore(const Graph& g, RunStats* stats) {
+  g.ensure_validated();  // degree[u] bucket moves index unchecked targets
   std::size_t n = g.num_vertices();
   std::vector<std::uint32_t> degree(n);
   std::uint32_t max_degree = 0;

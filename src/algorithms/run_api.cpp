@@ -8,9 +8,12 @@
 #include "algorithms/bcc/bcc.h"
 #include "algorithms/bfs/bfs.h"
 #include "algorithms/cc/cc.h"
+#include "algorithms/cc/ldd.h"
 #include "algorithms/kcore/kcore.h"
+#include "algorithms/pagerank/pagerank.h"
 #include "algorithms/scc/scc.h"
 #include "algorithms/sssp/sssp.h"
+#include "algorithms/tc/tc.h"
 #include <chrono>
 #include <unordered_set>
 
@@ -306,6 +309,15 @@ RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
   return run_traced(opt, [&](Tracer* t) { return label_prop_cc(g, t); });
 }
 
+RunReport<std::vector<VertexId>> ldd_cc(const Graph& g,
+                                        const AlgoOptions& opt) {
+  g.ensure_validated();
+  g.ensure_in_core("ldd-cc");
+  return run_traced(opt, [&](Tracer* t) {
+    return ldd_cc(g, opt.scc_beta, opt.scc_seed, t);
+  });
+}
+
 // --- k-core ------------------------------------------------------------------
 
 RunReport<std::vector<std::uint32_t>> seq_kcore(const Graph& g,
@@ -321,6 +333,58 @@ RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
   g.ensure_in_core("pasgal-kcore");
   KcoreParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) { return pasgal_kcore(g, p, t); });
+}
+
+// --- PageRank ----------------------------------------------------------------
+
+namespace {
+
+PagerankParams pagerank_params(const AlgoOptions& opt) {
+  PagerankParams p;
+  p.max_iterations = opt.pagerank_iterations;
+  p.epsilon = opt.pagerank_epsilon;
+  p.damping = opt.pagerank_damping;
+  p.cancel = opt.cancel;
+  return p;
+}
+
+}  // namespace
+
+RunReport<PagerankResult> seq_pagerank(const Graph& g, const Graph& gt,
+                                       const AlgoOptions& opt) {
+  g.ensure_validated();
+  gt.ensure_validated();
+  gt.ensure_in_core("seq-pagerank (use -a pasgal for sharded runs)");
+  PagerankParams p = pagerank_params(opt);
+  return run_traced(opt,
+                    [&](Tracer* t) { return seq_pagerank(g, gt, p, t); });
+}
+
+RunReport<PagerankResult> pasgal_pagerank(const Graph& g, const Graph& gt,
+                                          const AlgoOptions& opt) {
+  // No ensure_in_core: the dense pull runs shard-at-a-time through gt's
+  // window (out-degrees come from g's always-resident offsets array).
+  g.ensure_validated();
+  gt.ensure_validated();
+  PagerankParams p = pagerank_params(opt);
+  return run_traced(opt,
+                    [&](Tracer* t) { return pasgal_pagerank(g, gt, p, t); });
+}
+
+// --- triangle counting -------------------------------------------------------
+
+RunReport<std::uint64_t> seq_tc(const Graph& g, const AlgoOptions& opt) {
+  g.ensure_validated();
+  g.ensure_in_core("seq-tc");
+  return run_traced(opt, [&](Tracer* t) { return seq_tc(g, t); });
+}
+
+RunReport<std::uint64_t> pasgal_tc(const Graph& g, const AlgoOptions& opt) {
+  g.ensure_validated();
+  g.ensure_in_core("pasgal-tc");
+  TcParams p;
+  p.cancel = opt.cancel;
+  return run_traced(opt, [&](Tracer* t) { return pasgal_tc(g, p, t); });
 }
 
 // --- toposort ----------------------------------------------------------------

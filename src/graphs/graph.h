@@ -104,13 +104,21 @@ class Graph {
   bool windowed() const { return storage_ != nullptr && storage_->windowed(); }
 
   // Typed guard for algorithms that random-access the adjacency arrays.
+  // Rejects BOTH sharded modes: windowed (compressed) opens have no
+  // whole-graph targets at all, and raw sharded opens keep full spans but
+  // only the active shard is hinted resident — a kernel walking raw targets
+  // would silently fault the whole section past the MappedWindow, defeating
+  // check_windowed_footprint's pricing.
   void ensure_in_core(const char* what) const {
-    if (!windowed()) return;
+    if (storage_ == nullptr ||
+        (!storage_->windowed() && storage_->shard_window() == nullptr)) {
+      return;
+    }
     throw Error(ErrorCategory::kUsage,
                 std::string(what) +
                     " needs whole-graph adjacency access, but this graph is "
-                    "open in windowed (sharded compressed) mode; reopen "
-                    "without --shard-mb or use an edge_map-based variant",
+                    "open in windowed (sharded) mode; reopen without "
+                    "--shard-mb or use an edge_map-based variant",
                 storage_->source_path());
   }
 

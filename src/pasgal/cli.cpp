@@ -168,6 +168,29 @@ OptionSet& OptionSet::add_integer(std::string name, long long min_value,
   return *this;
 }
 
+OptionSet& OptionSet::real(std::string name, double* target, double min_value,
+                           double max_value, std::string value_name) {
+  options_.push_back(
+      {std::move(name), true, std::move(value_name),
+       [target, min_value, max_value](const std::string& flag,
+                                      const char* value) {
+         errno = 0;
+         char* end = nullptr;
+         double v = std::strtod(value, &end);
+         if (*value == '\0' || end == value || *end != '\0') {
+           throw Error(ErrorCategory::kUsage, "flag " + flag + ": '" + value +
+                                                  "' is not a number");
+         }
+         // NaN compares false against any range; != catches it too.
+         if (errno == ERANGE || !(v >= min_value) || !(v <= max_value)) {
+           throw Error(ErrorCategory::kUsage,
+                       "flag " + flag + ": " + value + " is out of range");
+         }
+         *target = v;
+       }});
+  return *this;
+}
+
 OptionSet& OptionSet::text(std::string name, std::string* target,
                            std::string value_name) {
   options_.push_back({std::move(name), true, std::move(value_name),

@@ -126,6 +126,11 @@ class OptionSet {
         });
   }
 
+  // Real-valued flag with range check: `--epsilon 1e-9`. Full-string strtod
+  // parsing — "abc", "1.0x" and NaN are usage errors, like parse_int above.
+  OptionSet& real(std::string name, double* target, double min_value,
+                  double max_value, std::string value_name);
+
   // Free-form string flag: `--json-metrics <path>`.
   OptionSet& text(std::string name, std::string* target,
                   std::string value_name);

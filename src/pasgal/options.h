@@ -53,10 +53,15 @@ struct AlgoOptions {
   std::uint64_t sssp_delta = 32;
   std::size_t sssp_rho = 8192;
 
-  // SCC pivot batching.
+  // SCC pivot batching (scc_beta/scc_seed also drive the ldd cc variant).
   double scc_beta = 2.0;
   std::uint64_t scc_seed = 42;
   std::size_t multistep_cutoff = 1000;
+
+  // PageRank power iteration: round cap, L1 convergence threshold, damping.
+  std::uint32_t pagerank_iterations = 100;
+  double pagerank_epsilon = 1e-7;
+  double pagerank_damping = 0.85;
 
   // Cross-check the output against a reference computation (drivers only;
   // the run_api entry points record it in no way — it rides here so one

@@ -14,7 +14,12 @@
 #include <utility>
 
 #include "algorithms/bfs/bfs.h"
+#include "algorithms/cc/cc.h"
+#include "algorithms/cc/ldd.h"
+#include "algorithms/kcore/kcore.h"
+#include "algorithms/pagerank/pagerank.h"
 #include "algorithms/sssp/sssp.h"
+#include "algorithms/tc/tc.h"
 #include "graphs/graph_io.h"
 #include "graphs/registry.h"
 #include "pasgal/cancel.h"
@@ -356,6 +361,16 @@ std::string Server::handle_request(const std::string& line) {
                        kv_int(req, "deadline_ms", opts_.default_deadline_ms,
                               1LL << 40));
       }
+    } else if (req.cmd == "cc" || req.cmd == "kcore" ||
+               req.cmd == "pagerank" || req.cmd == "tc") {
+      check_vocabulary(req, {"graph", "algo", "deadline_ms"}, {});
+      std::string algo = req.cmd == "cc" ? "uf" : "pasgal";
+      if (auto it = req.kv.find("algo"); it != req.kv.end()) {
+        algo = it->second;
+      }
+      out = do_family_query(req.cmd, require_graph(req), algo,
+                            kv_int(req, "deadline_ms",
+                                   opts_.default_deadline_ms, 1LL << 40));
     } else if (req.cmd == "stats") {
       check_vocabulary(req, {}, {});
       out = do_stats();
@@ -369,7 +384,8 @@ std::string Server::handle_request(const std::string& line) {
     } else {
       throw Error(ErrorCategory::kUsage,
                   "unknown command '" + req.cmd +
-                      "' (expected open|bfs|sssp|stats|evict|shutdown)");
+                      "' (expected open|bfs|sssp|cc|kcore|pagerank|tc|"
+                      "stats|evict|shutdown)");
     }
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
     return one_line(std::move(out));
@@ -612,6 +628,79 @@ std::string Server::do_batch(const std::string& cmd, const std::string& path,
   doc.set_batch(sources, report.seconds);
   doc.add_trial(report.seconds, report.telemetry);
   record_shard(doc, wg.unweighted());
+  return doc.to_json();
+}
+
+std::string Server::do_family_query(const std::string& cmd,
+                                    const std::string& path,
+                                    const std::string& algo,
+                                    std::uint64_t deadline_ms) {
+  // Validate the algo string before any I/O so a typo costs nothing.
+  if (cmd == "cc") {
+    if (algo != "uf" && algo != "lp" && algo != "ldd") {
+      throw Error(ErrorCategory::kUsage,
+                  "cc: unknown algo '" + algo + "' (expected uf|lp|ldd)");
+    }
+  } else if (algo != "pasgal" && algo != "seq") {
+    throw Error(ErrorCategory::kUsage, cmd + ": unknown algo '" + algo +
+                                           "' (expected pasgal|seq)");
+  }
+
+  PgrShardSpec spec = ensure_open(path);
+
+  CancelToken token;
+  if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
+
+  AlgoOptions opt;
+  opt.cancel = &token;
+
+  std::lock_guard<std::mutex> exec(exec_mu_);
+
+  Graph g = read_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
+  MetricsDoc doc(cmd, algo, path, g.num_vertices(), g.num_edges());
+  if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
+
+  if (cmd == "pagerank") {
+    // The dense pull walks the transpose's shard plan, so pagerank (pasgal
+    // variant) stays correct on sharded opens; seq refuses with a typed
+    // error from its own ensure_in_core.
+    Graph gt = g.transpose();
+    RunReport<PagerankResult> report = algo == "pasgal"
+                                           ? pasgal_pagerank(g, gt, opt)
+                                           : seq_pagerank(g, gt, opt);
+    doc.set_param("iterations",
+                  static_cast<std::uint64_t>(report.output.iterations));
+    doc.add_trial(report.seconds, report.telemetry);
+    record_shard(doc, g);
+    return doc.to_json();
+  }
+
+  // cc / kcore / tc are defined on the undirected graph. symmetrize() needs
+  // the whole edge set in core, so on a sharded open it throws the typed
+  // kUsage error instead of silently faulting past the window.
+  Graph sg = g.symmetrize();
+  if (cmd == "cc") {
+    RunReport<std::vector<VertexId>> report;
+    if (algo == "uf") {
+      RunReport<ConnectivityResult> uf = connected_components(sg, opt);
+      report.output = std::move(uf.output.label);
+      report.seconds = uf.seconds;
+      report.telemetry = std::move(uf.telemetry);
+    } else {
+      report = algo == "lp" ? label_prop_cc(sg, opt) : ldd_cc(sg, opt);
+    }
+    doc.add_trial(report.seconds, report.telemetry);
+  } else if (cmd == "kcore") {
+    RunReport<std::vector<std::uint32_t>> report =
+        algo == "pasgal" ? pasgal_kcore(sg, opt) : seq_kcore(sg, opt);
+    doc.add_trial(report.seconds, report.telemetry);
+  } else {
+    RunReport<std::uint64_t> report =
+        algo == "pasgal" ? pasgal_tc(sg, opt) : seq_tc(sg, opt);
+    doc.set_param("triangles", report.output);
+    doc.add_trial(report.seconds, report.telemetry);
+  }
+  record_shard(doc, g);
   return doc.to_json();
 }
 

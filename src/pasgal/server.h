@@ -51,6 +51,16 @@
 //                                         (the deadline covers the whole
 //                                         batch). sources= conflicts with
 //                                         source=; @file lists are CLI-only.
+//   cc graph=<p> [algo=uf|lp|ldd] [deadline_ms=<n>]
+//   kcore graph=<p> [algo=pasgal|seq] [deadline_ms=<n>]
+//   pagerank graph=<p> [algo=pasgal|seq] [deadline_ms=<n>]
+//   tc graph=<p> [algo=pasgal|seq] [deadline_ms=<n>]
+//                                      -> pasgal.metrics v1 JSON (one line).
+//                                         cc/kcore/tc symmetrize in-core and
+//                                         answer sharded opens with a typed
+//                                         [usage] error; pagerank algo=pasgal
+//                                         runs shard-at-a-time through the
+//                                         transpose's window.
 //   stats                              -> ok entries=... resident_bytes=...
 //   evict graph=<p>                    -> ok evicted ...
 //   shutdown                           -> ok draining   (then run() returns)
@@ -154,6 +164,11 @@ class Server {
   std::string do_batch(const std::string& cmd, const std::string& path,
                        const std::vector<std::uint32_t>& sources,
                        const std::string& algo, std::uint64_t deadline_ms);
+  // Sourceless whole-graph queries (cc/kcore/pagerank/tc): same admission,
+  // deadline and metrics contract as do_query, minus the source vertex.
+  std::string do_family_query(const std::string& cmd, const std::string& path,
+                              const std::string& algo,
+                              std::uint64_t deadline_ms);
   std::string do_stats();
   std::string do_evict(const std::string& path);
 

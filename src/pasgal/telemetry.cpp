@@ -22,6 +22,7 @@ void Tracer::reset() {
   frontier_sizes_.clear();
   round_trace_.clear();
   pending_kind_ = RoundKind::kSparse;
+  pending_delta_ = -1.0;
   prev_edges_ = 0;
   prev_visits_ = 0;
   run_start_ = std::chrono::steady_clock::now();
@@ -65,10 +66,12 @@ void Tracer::end_round(std::uint64_t frontier_size, RoundKind kind) {
   t.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_round_)
           .count());
+  t.delta = pending_delta_;
   prev_edges_ = ce;
   prev_visits_ = cv;
   last_round_ = now;
   pending_kind_ = RoundKind::kSparse;
+  pending_delta_ = -1.0;
   round_trace_.push_back(t);
   frontier_sizes_.push_back(frontier_size);
 }
@@ -452,6 +455,10 @@ std::string to_json(const RunTelemetry& t) {
     append_kv(out, "cum_visits", r.cum_visits);
     out += ',';
     append_kv(out, "wall_ns", r.wall_ns);
+    if (r.delta >= 0) {
+      out += ",\"delta\":";
+      append_double(out, r.delta);
+    }
     out += '}';
   }
   out += "],\"vgc_depth_hist\":[";
@@ -650,7 +657,22 @@ const json::Value* require(const json::Value& obj, const char* key,
   return v;
 }
 
-Status validate_trial(const json::Value& trial, std::size_t index) {
+// Algorithm families a metrics document may describe. Unknown algo strings
+// are schema errors: downstream bench tooling keys tables off this set, and
+// a typo'd family silently dropping out of a report is worse than a failure.
+constexpr const char* kKnownAlgos[] = {
+    "bfs",    "sssp", "scc",       "bcc", "cc",
+    "kcore",  "pagerank", "tc",    "graph_gen", "graph_convert"};
+
+bool known_algo(const std::string& algo) {
+  for (const char* a : kKnownAlgos) {
+    if (algo == a) return true;
+  }
+  return false;
+}
+
+Status validate_trial(const json::Value& trial, std::size_t index,
+                      const std::string& algo) {
   std::string ctx = "trials[" + std::to_string(index) + "]";
   Status st;
   const json::Value* seconds =
@@ -735,6 +757,17 @@ Status validate_trial(const json::Value& trial, std::size_t index) {
     if (kind != "sparse" && kind != "dense" && kind != "local") {
       return schema_fail(rctx + ": unknown round kind '" + kind + "'");
     }
+    // Per-round convergence residuals are a PageRank-only shape: every
+    // pagerank round carries one, no other family may emit one.
+    const json::Value* delta = r.find("delta");
+    if (algo == "pagerank") {
+      if (delta == nullptr || !delta->is_number() || delta->number < 0) {
+        return schema_fail(rctx +
+                           ": pagerank rounds require a non-negative delta");
+      }
+    } else if (delta != nullptr) {
+      return schema_fail(rctx + ": round delta is only valid for pagerank");
+    }
   }
   // Cumulative counters never exceed the run totals.
   if (prev_cum_edges > totals->find("edges_scanned")->number ||
@@ -753,7 +786,8 @@ Status validate_metrics(const json::Value& doc) {
       require(doc, "schema", json::Value::Kind::kString, st, "document");
   const json::Value* version =
       require(doc, "version", json::Value::Kind::kNumber, st, "document");
-  require(doc, "algo", json::Value::Kind::kString, st, "document");
+  const json::Value* algo =
+      require(doc, "algo", json::Value::Kind::kString, st, "document");
   require(doc, "variant", json::Value::Kind::kString, st, "document");
   const json::Value* graph =
       require(doc, "graph", json::Value::Kind::kObject, st, "document");
@@ -771,6 +805,9 @@ Status validate_metrics(const json::Value& doc) {
   if (static_cast<int>(version->number) != kMetricsVersion) {
     return schema_fail("unsupported version " +
                        std::to_string(version->number));
+  }
+  if (!known_algo(algo->str)) {
+    return schema_fail("unknown algo '" + algo->str + "'");
   }
   require(*graph, "spec", json::Value::Kind::kString, st, "graph");
   require(*graph, "n", json::Value::Kind::kNumber, st, "graph");
@@ -889,8 +926,29 @@ Status validate_metrics(const json::Value& doc) {
     }
   }
 
+  // Family-specific result params: a tc document states its triangle count,
+  // a pagerank document the iteration count it actually ran.
+  if (algo->str == "tc") {
+    const json::Value* triangles = params->find("triangles");
+    if (triangles == nullptr || !triangles->is_number() ||
+        triangles->number < 0) {
+      return schema_fail(
+          "params.triangles (non-negative) is required for algo 'tc'");
+    }
+  }
+  if (algo->str == "pagerank") {
+    const json::Value* iterations = params->find("iterations");
+    if (iterations == nullptr || !iterations->is_number() ||
+        iterations->number < 1) {
+      return schema_fail(
+          "params.iterations (>= 1) is required for algo 'pagerank'");
+    }
+  }
+
   for (std::size_t i = 0; i < trials->array.size(); ++i) {
-    if (Status s = validate_trial(trials->array[i], i); !s.ok()) return s;
+    if (Status s = validate_trial(trials->array[i], i, algo->str); !s.ok()) {
+      return s;
+    }
   }
   return Status::Ok();
 }

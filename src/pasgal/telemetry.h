@@ -55,6 +55,9 @@ struct RoundTrace {
   std::uint64_t cum_edges = 0;
   std::uint64_t cum_visits = 0;
   std::uint64_t wall_ns = 0;
+  // Per-round convergence residual (PageRank's L1 delta). Negative = absent;
+  // only emitted to JSON when set, and required for every pagerank round.
+  double delta = -1.0;
 };
 
 // Hash-bag frontier behaviour over a run (summed over all bags a run
@@ -135,6 +138,9 @@ class Tracer {
   // A direction chooser (edge_map) may set the upcoming round's kind before
   // the round master ends it; an explicit kind overrides the pending one.
   void set_round_kind(RoundKind k) { pending_kind_ = k; }
+  // Iterative kernels (PageRank) attach the round's convergence residual
+  // before ending it; end_round consumes and clears the pending value.
+  void set_round_delta(double d) { pending_delta_ = d; }
   void end_round(std::uint64_t frontier_size);
   void end_round(std::uint64_t frontier_size, RoundKind kind);
 
@@ -179,6 +185,7 @@ class Tracer {
   std::vector<std::uint64_t> frontier_sizes_;  // legacy view of round_trace_
   std::vector<RoundTrace> round_trace_;
   RoundKind pending_kind_ = RoundKind::kSparse;
+  double pending_delta_ = -1.0;
   std::uint64_t prev_edges_ = 0;
   std::uint64_t prev_visits_ = 0;
   std::chrono::steady_clock::time_point run_start_;

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "algorithms/bfs/bfs.h"
+#include "algorithms/cc/cc.h"
+#include "algorithms/cc/ldd.h"
+#include "algorithms/kcore/kcore.h"
 #include "graphs/graph.h"
 #include "graphs/graph_io.h"
 #include "graphs/storage.h"
@@ -661,6 +664,28 @@ TEST_F(GraphIoFuzzTest, BfsOnUnvalidatedOutOfRangeTargetsThrowsTyped) {
   Graph gt = g.transpose();  // embedded sections: no rebuild, no crash
   expect_rejected([&] { gbbs_bfs(g, gt, 0); }, ErrorCategory::kValidation);
   expect_rejected([&] { gapbs_bfs(g, gt, 0); }, ErrorCategory::kValidation);
+}
+
+TEST_F(GraphIoFuzzTest, CcAndKcoreOnUnvalidatedOutOfRangeTargetsThrowTyped) {
+  // Regression: the cc and kcore kernels walk the CSR with manual loops
+  // rather than through the frontier machinery, so they used to index a
+  // poisoned target straight out of bounds instead of hitting the lazy
+  // ensure_validated() choke point. All of them must reject like BFS does.
+  auto path = make_valid_pgr("lazyoob_cc.pgr");
+  auto bytes = slurp(path);
+  std::size_t off = targets_off(bytes);
+  poke<std::uint32_t>(bytes, off, 1000u);  // target 1000 in a 4-vertex graph
+  reseal_pgr_section(bytes, 1);
+  dump(path, bytes);
+  Graph g = read_pgr(path);
+  ASSERT_NE(g.storage(), nullptr);
+  EXPECT_FALSE(g.storage()->validated());
+  expect_rejected([&] { connected_components(g); },
+                  ErrorCategory::kValidation);
+  expect_rejected([&] { label_prop_cc(g); }, ErrorCategory::kValidation);
+  expect_rejected([&] { ldd_cc(g); }, ErrorCategory::kValidation);
+  expect_rejected([&] { seq_kcore(g); }, ErrorCategory::kValidation);
+  expect_rejected([&] { pasgal_kcore(g); }, ErrorCategory::kValidation);
 }
 
 TEST_F(GraphIoFuzzTest, EnsureValidatedAcceptsAndMemoizesCleanGraphs) {

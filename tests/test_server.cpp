@@ -186,6 +186,65 @@ TEST_F(ServerTest, SsspOnWeightedGraphReturnsMetrics) {
   EXPECT_TRUE(is_metrics_json(resp)) << resp;
 }
 
+TEST_F(ServerTest, FamilyVerbsReturnMetrics) {
+  std::string path = write_graph("family.pgr");
+  start_server();
+
+  Client c = connect_client();
+  std::string cc = c.request("cc graph=" + path);
+  EXPECT_TRUE(is_metrics_json(cc)) << cc;
+  EXPECT_NE(cc.find("\"variant\":\"uf\""), std::string::npos) << cc;
+
+  std::string kcore = c.request("kcore graph=" + path + " algo=seq");
+  EXPECT_TRUE(is_metrics_json(kcore)) << kcore;
+  EXPECT_NE(kcore.find("\"variant\":\"seq\""), std::string::npos) << kcore;
+
+  std::string pagerank = c.request("pagerank graph=" + path);
+  EXPECT_TRUE(is_metrics_json(pagerank)) << pagerank;
+  // validate_metrics requires the executed round count for pagerank.
+  EXPECT_NE(pagerank.find("\"iterations\":"), std::string::npos) << pagerank;
+
+  std::string tc = c.request("tc graph=" + path);
+  EXPECT_TRUE(is_metrics_json(tc)) << tc;
+  // A rectangle grid is triangle-free; the count is part of the document.
+  EXPECT_NE(tc.find("\"triangles\":0"), std::string::npos) << tc;
+}
+
+TEST_F(ServerTest, FamilyVerbContractViolationsGetTypedUsageErrors) {
+  std::string path = write_graph("familyerr.pgr");
+  start_server();
+
+  std::string bad_cc = request_once("cc graph=" + path + " algo=nope");
+  EXPECT_EQ(bad_cc.rfind("error [usage]", 0), 0u) << bad_cc;
+  EXPECT_NE(bad_cc.find("uf|lp|ldd"), std::string::npos) << bad_cc;
+
+  std::string bad_pr = request_once("pagerank graph=" + path + " algo=gbbs");
+  EXPECT_EQ(bad_pr.rfind("error [usage]", 0), 0u) << bad_pr;
+  EXPECT_NE(bad_pr.find("pasgal|seq"), std::string::npos) << bad_pr;
+
+  // Whole-graph verbs take no source vertex.
+  std::string stray = request_once("tc graph=" + path + " source=0");
+  EXPECT_EQ(stray.rfind("error [usage]", 0), 0u) << stray;
+}
+
+TEST_F(ServerTest, FamilyDeadlineExpiryIsTypedAndThePoolSurvives) {
+  std::string big = temp_path("family_deadline.pgr");
+  write_pgr(gen::chain(400000, /*directed=*/true), big);
+  start_server();
+
+  Client c = connect_client();
+  // Each pagerank round scans all 400k in-edges and the deadline is
+  // checked at every round boundary, so 1 ms expires mid-iteration.
+  std::string timed_out =
+      c.request("pagerank graph=" + big + " deadline_ms=1");
+  EXPECT_EQ(timed_out.rfind("error [timeout]", 0), 0u) << timed_out;
+
+  // Same connection, same worker pool: an undeadlined query completes.
+  std::string ok = c.request("pagerank graph=" + big);
+  EXPECT_TRUE(is_metrics_json(ok))
+      << "worker pool must survive a cancelled run: " << ok;
+}
+
 TEST_F(ServerTest, BatchQueriesReturnBatchMetrics) {
   std::string path = write_graph("batch.pgr");
   std::string wpath = write_weighted_graph("wbatch.pgr");

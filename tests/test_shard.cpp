@@ -9,7 +9,12 @@
 #include <numeric>
 
 #include "algorithms/bfs/bfs.h"
+#include "algorithms/cc/cc.h"
+#include "algorithms/cc/ldd.h"
+#include "algorithms/kcore/kcore.h"
+#include "algorithms/pagerank/pagerank.h"
 #include "algorithms/sssp/sssp.h"
+#include "algorithms/tc/tc.h"
 #include "graphs/generators.h"
 #include "graphs/graph.h"
 #include "graphs/graph_io.h"
@@ -392,6 +397,73 @@ TEST_F(ShardTest, CheckWindowedFootprintScalesWithWindow) {
 }
 
 // --- metrics schema ---------------------------------------------------------
+
+// --- whole-graph algorithm families on sharded opens ------------------------
+
+TEST_F(ShardTest, WholeGraphFamiliesAreTypedUsageErrorsOnShardedOpens) {
+  // cc, kcore and tc walk the whole CSR at random, so both sharded flavors
+  // (raw advisory window and compressed decode window) must refuse with the
+  // typed kUsage error from ensure_in_core — never fault past the window.
+  Graph g = random_graph(3000, 30000, 16);
+  for (bool compress : {false, true}) {
+    SCOPED_TRACE(compress ? "compressed" : "raw");
+    auto path = temp_path(compress ? "fam_v2.pgr" : "fam_raw.pgr");
+    PgrWriteOptions wopts;
+    wopts.compress_targets = compress;
+    write_pgr(g, path, wopts);
+    PgrShardSpec spec;
+    spec.window_bytes = 8 << 10;
+    Graph sharded = read_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
+    AlgoOptions opt;
+    auto expect_usage = [&](const char* what, auto&& fn) {
+      try {
+        fn();
+        ADD_FAILURE() << what << " on a sharded open must throw";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage) << what;
+        EXPECT_NE(std::string(e.what()).find("windowed"), std::string::npos)
+            << what;
+      }
+    };
+    expect_usage("connected_components",
+                 [&] { connected_components(sharded, opt); });
+    expect_usage("label_prop_cc", [&] { label_prop_cc(sharded, opt); });
+    expect_usage("ldd_cc", [&] { ldd_cc(sharded, opt); });
+    expect_usage("seq_kcore", [&] { seq_kcore(sharded, opt); });
+    expect_usage("pasgal_kcore", [&] { pasgal_kcore(sharded, opt); });
+    expect_usage("seq_tc", [&] { seq_tc(sharded, opt); });
+    expect_usage("pasgal_tc", [&] { pasgal_tc(sharded, opt); });
+    expect_usage("symmetrize", [&] { sharded.symmetrize(); });
+  }
+}
+
+TEST_F(ShardTest, PagerankIdenticalShardedRawAndCompressed) {
+  // The dense pull walks the transpose's shard plan one contiguous
+  // destination range at a time, and every destination's in-edges arrive
+  // whole, so the sums — and therefore the ranks — must be byte-identical
+  // to the in-core run, not merely close.
+  Graph g = random_graph(6000, 80000, 17);
+  for (bool compress : {false, true}) {
+    SCOPED_TRACE(compress ? "compressed" : "raw");
+    auto path = temp_path(compress ? "pr_v2.pgr" : "pr_raw.pgr");
+    PgrWriteOptions wopts;
+    wopts.include_transpose = true;
+    wopts.compress_targets = compress;
+    write_pgr(g, path, wopts);
+    Graph in_core = read_pgr(path);
+    PgrShardSpec spec;
+    spec.window_bytes = 16 << 10;
+    Graph sharded = read_pgr(path, PgrOpen::kMmap, false, nullptr, spec);
+    PagerankResult want = pasgal_pagerank(in_core, in_core.transpose());
+    PagerankResult got = pasgal_pagerank(sharded, sharded.transpose());
+    EXPECT_EQ(want.iterations, got.iterations);
+    EXPECT_EQ(want.delta, got.delta);
+    ASSERT_EQ(want.rank.size(), got.rank.size());
+    for (std::size_t v = 0; v < want.rank.size(); ++v) {
+      ASSERT_EQ(want.rank[v], got.rank[v]) << "vertex " << v;
+    }
+  }
+}
 
 TEST_F(ShardTest, ShardMetricsSectionValidates) {
   MetricsDoc doc("bfs", "gbbs", "g.pgr", 100, 1000);
