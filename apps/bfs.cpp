@@ -2,17 +2,27 @@
 //
 //   bfs <graph> [-s source | --sources <v0,v1,...|@file>]
 //       [-a pasgal|gbbs|gapbs|seq|ms] [-t tau] [-r repeats]
-//       [--serve N] [--validate] [--json-metrics <path>]
+//       [--updates <log.plog>] [--serve N] [--validate]
+//       [--json-metrics <path>]
 //
 // `--sources` switches to batched mode: the bit-parallel ms_bfs kernel
 // advances every listed source (max 64) through one shared sweep, prints a
 // per-source summary, and the metrics document gains a "batch" section.
 //
+// `--updates` switches to incremental mode: a baseline gbbs (edge_map) run
+// settles the pristine graph, then each batch in the update log is applied
+// as a delta overlay and the distances are repaired in place
+// (algorithms/incremental.h) — re-settling only the affected vertices. The
+// metrics document gains a "delta" section reporting the repair scope.
+//
 // Exit codes: 0 ok / 1 internal / 2 usage / 3 bad input / 4 resource.
+#include <chrono>
 #include <optional>
 
 #include "algorithms/bfs/bfs.h"
+#include "algorithms/incremental.h"
 #include "common.h"
+#include "graphs/delta.h"
 
 using namespace pasgal;
 
@@ -22,6 +32,7 @@ int main(int argc, char** argv) {
   long long source = 0;
   bool source_given = false;
   std::string sources_text;
+  std::string updates_path;
   long long tau = 512;
   cli::OptionSet opts;
   cli::CommonOptions common;
@@ -29,6 +40,7 @@ int main(int argc, char** argv) {
       .choice("-a", &algo, {"pasgal", "gbbs", "gapbs", "seq", "ms"},
               &algo_given)
       .text("--sources", &sources_text, "v0,v1,...|@file")
+      .text("--updates", &updates_path, "updates.plog")
       .integer("-t", &tau, 1, 0xFFFFFFFFLL, "tau");
   common.declare(opts);
   if (argc < 2) {
@@ -55,6 +67,25 @@ int main(int argc, char** argv) {
     } else if (algo == "ms") {
       throw Error(ErrorCategory::kUsage,
                   "-a ms needs a batch: give the sources via --sources");
+    }
+
+    if (!updates_path.empty()) {
+      if (!sources_text.empty()) {
+        throw Error(ErrorCategory::kUsage,
+                    "--updates conflicts with --sources (incremental repair "
+                    "maintains one distance vector)");
+      }
+      if (common.serve != 0) {
+        throw Error(ErrorCategory::kUsage,
+                    "--updates is stateful (each batch applies once); it "
+                    "conflicts with --serve");
+      }
+      if (algo_given && algo != "gbbs") {
+        throw Error(ErrorCategory::kUsage,
+                    "--updates repairs through the overlay-aware edge_map "
+                    "kernel; only -a gbbs applies");
+      }
+      algo = "gbbs";
     }
 
     apps::ServeHarness serve(argv[1], common);
@@ -131,6 +162,56 @@ int main(int argc, char** argv) {
             }
           }
         }
+        continue;
+      }
+
+      if (!updates_path.empty()) {
+        // Baseline settle on the pristine graph, then batch-by-batch apply
+        // + in-place repair. Repeats don't apply: a batch folds into the
+        // overlay exactly once.
+        RunReport<std::vector<std::uint32_t>> base = gbbs_bfs(g, gt, aopt);
+        apps::print_stats("gbbs", base.seconds, tracer);
+        doc->add_trial(base.seconds, base.telemetry);
+        std::vector<std::uint32_t> dist = std::move(base.output);
+        std::vector<std::vector<EdgeUpdate>> log =
+            read_update_log(updates_path);
+        std::uint64_t resettled = 0, full_settled = 0;
+        bool fallback = false;
+        for (std::size_t b = 0; b < log.size(); ++b) {
+          apply_updates(g, log[b]);
+          Tracer repair_tracer;
+          auto t0 = std::chrono::steady_clock::now();
+          IncrementalStats st = incremental_bfs(
+              g, gt, static_cast<VertexId>(source), log[b], dist);
+          double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+          resettled += st.resettled;
+          full_settled += st.full_settled;
+          fallback = fallback || st.fallback;
+          std::printf("update batch %zu: %zu ops, resettled %llu of %llu "
+                      "vertices in %.4f s%s\n",
+                      b + 1, log[b].size(), (unsigned long long)st.resettled,
+                      (unsigned long long)st.full_settled, secs,
+                      st.fallback ? " (churn fallback: full recompute)" : "");
+          doc->add_trial(secs, repair_tracer.aggregate());
+        }
+        if (std::shared_ptr<const DeltaSnapshot> d =
+                g.storage() != nullptr ? g.storage()->delta_snapshot()
+                                       : nullptr) {
+          doc->set_delta(d->insert_count(), d->delete_count(), d->batches(),
+                         resettled, full_settled, fallback);
+        }
+        std::uint64_t reached = 0, ecc = 0;
+        for (auto dd : dist) {
+          if (dd != kInfDist) {
+            ++reached;
+            ecc = std::max<std::uint64_t>(ecc, dd);
+          }
+        }
+        std::printf("after updates: reached %llu vertices, eccentricity "
+                    "%llu\n",
+                    (unsigned long long)reached, (unsigned long long)ecc);
         continue;
       }
 

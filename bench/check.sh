@@ -20,7 +20,7 @@ cmake --build "$prefix-san" -j > /dev/null
 
 echo "--- sanitized input-hardening tests ---"
 (cd "$prefix-san" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|test_registry|test_resource|test_pagerank|test_tc|app_exit_|storage_|registry_')
+    -R 'test_graph_io|test_graph_io_fuzz|test_hashbag|test_graph$|test_storage|test_registry|test_resource|test_pagerank|test_tc|test_delta|test_vertex_subset|app_exit_|storage_|registry_')
 
 echo "--- sanitized app drivers (success paths, with metrics emission) ---"
 tmp="$(mktemp -d)"
@@ -351,6 +351,54 @@ case "$resp" in
 esac
 drain "$dpid" "$tmp/daemon_pin.log"
 
+# Daemon update mix: concurrent clients each mutate their own graph through
+# the update/compact verbs while querying it. TSan checks the overlay
+# publish (apply_updates) against concurrent traversals; every response must
+# stay one of the three legal shapes and compaction must leave a clean file
+# the default kernel accepts again.
+rm -f "$sock"
+"$SERVE" --socket "$sock" > "$tmp/daemon_upd.log" 2>&1 &
+dpid=$!
+wait_sock
+i=0
+while [ "$i" -lt 4 ]; do
+  cp "$tmp/d_c.pgr" "$tmp/d_u$i.pgr"
+  "$SERVE" --socket "$sock" --client \
+      "open graph=$tmp/d_u$i.pgr" \
+      "update graph=$tmp/d_u$i.pgr add=0:3599,1:3598 del=0:1" \
+      "bfs graph=$tmp/d_u$i.pgr source=0 algo=gbbs" \
+      "pagerank graph=$tmp/d_u$i.pgr" \
+      "update graph=$tmp/d_u$i.pgr del=1:3598" \
+      "cc graph=$tmp/d_u$i.pgr" \
+      "compact graph=$tmp/d_u$i.pgr" \
+      "bfs graph=$tmp/d_u$i.pgr source=0" \
+      "stats" > "$tmp/upd_client$i.out" 2>&1 &
+  eval "upid$i=\$!"
+  i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 4 ]; do
+  eval "wait \$upid$i" || {
+    echo "FAIL: update-mix client $i exited nonzero:" >&2
+    cat "$tmp/upd_client$i.out" >&2
+    exit 1
+  }
+  i=$((i + 1))
+done
+if grep -hv -e '^ok ' -e '^{' -e '^error \[' "$tmp"/upd_client*.out | grep -q .; then
+  echo "FAIL: update mix produced an untyped response line:" >&2
+  grep -hv -e '^ok ' -e '^{' -e '^error \[' "$tmp"/upd_client*.out >&2
+  exit 1
+fi
+grep -q 'ok compacted' "$tmp/upd_client0.out" || {
+  echo "FAIL: update mix never compacted" >&2; exit 1
+}
+# The queried responses on the overlaid graph carry the delta subsection.
+grep -q '"delta":' "$tmp/upd_client0.out" || {
+  echo "FAIL: overlaid query metrics lack the delta subsection" >&2; exit 1
+}
+drain "$dpid" "$tmp/daemon_upd.log"
+
 echo "--- QPS gate (batch-of-64 ms_bfs vs 64 sequential singles) ---"
 # Plain build, not sanitized: this is a throughput gate. bench_qps itself
 # cross-checks every per-source distance array against a single-source run,
@@ -412,6 +460,62 @@ for algo in bfs sssp; do
   }
   "$prefix/apps/metrics_check" "$tmp/shard_${algo}.json"
 done
+
+echo "--- dynamic update gate (overlay vs rebuilt reference, 1/4/8 workers) ---"
+# Plain build. graph_convert generates a deterministic update log, the
+# --apply-updates path folds it into a from-scratch rebuilt .pgr, and every
+# overlay-aware driver run on (base + log) must print byte-identical result
+# lines to the plain run on the folded file — per worker count and across
+# worker counts. 120 ops on rmat:12 (n=4096) keeps churn under 1% so the
+# incremental BFS repair must also beat the full recompute on settles.
+"$prefix/apps/graph_convert" rmat:12:40000 "$tmp/upd.pgr" --transpose > /dev/null
+"$prefix/apps/graph_convert" "$tmp/upd.pgr" "$tmp/upd.plog" \
+    --gen-updates 120:7:4 > /dev/null
+"$prefix/apps/graph_convert" "$tmp/upd.pgr" "$tmp/upd_folded.pgr" \
+    --apply-updates "$tmp/upd.plog" --transpose > /dev/null
+for w in 1 4 8; do
+  env PASGAL_NUM_THREADS=$w "$prefix/apps/bfs" "$tmp/upd.pgr" -a gbbs -r 1 \
+      --updates "$tmp/upd.plog" --json-metrics "$tmp/upd_bfs_$w.json" \
+      | grep -o 'reached .*' > "$tmp/upd_bfs_$w.txt"
+  env PASGAL_NUM_THREADS=$w "$prefix/apps/bfs" "$tmp/upd_folded.pgr" \
+      -a gbbs -r 1 | grep -o 'reached .*' > "$tmp/upd_bfs_ref_$w.txt"
+  env PASGAL_NUM_THREADS=$w "$prefix/apps/cc" "$tmp/upd.pgr" -r 1 \
+      --updates "$tmp/upd.plog" --json-metrics "$tmp/upd_cc_$w.json" \
+      | grep -o '[0-9][0-9]* components.*' > "$tmp/upd_cc_$w.txt"
+  env PASGAL_NUM_THREADS=$w "$prefix/apps/cc" "$tmp/upd_folded.pgr" -r 1 \
+      | grep -o '[0-9][0-9]* components.*' > "$tmp/upd_cc_ref_$w.txt"
+  env PASGAL_NUM_THREADS=$w "$prefix/apps/pagerank" "$tmp/upd.pgr" -r 1 \
+      --updates "$tmp/upd.plog" --json-metrics "$tmp/upd_pr_$w.json" \
+      | grep '^converged' > "$tmp/upd_pr_$w.txt"
+  env PASGAL_NUM_THREADS=$w "$prefix/apps/pagerank" "$tmp/upd_folded.pgr" \
+      -r 1 | grep '^converged' > "$tmp/upd_pr_ref_$w.txt"
+  for algo in bfs cc pr; do
+    diff "$tmp/upd_${algo}_${w}.txt" "$tmp/upd_${algo}_ref_${w}.txt" || {
+      echo "FAIL: $algo overlay result differs from the rebuilt reference" \
+           "at $w workers" >&2
+      exit 1
+    }
+    "$prefix/apps/metrics_check" "$tmp/upd_${algo}_${w}.json"
+    grep -q '"delta":' "$tmp/upd_${algo}_${w}.json" || {
+      echo "FAIL: $algo overlay metrics lack the delta subsection" >&2; exit 1
+    }
+  done
+done
+for algo in bfs cc pr; do
+  [ "$(cat "$tmp/upd_${algo}_"[148].txt | sort -u | wc -l)" -eq 1 ] || {
+    echo "FAIL: $algo overlay results differ across worker counts" >&2; exit 1
+  }
+done
+# Incremental BFS must re-settle strictly fewer vertices than a full
+# recompute at this churn (reported in the delta metrics subsection).
+resettled=$(sed -E 's/.*"resettled":([0-9]+).*/\1/' "$tmp/upd_bfs_1.json")
+full_settled=$(sed -E 's/.*"full_settled":([0-9]+).*/\1/' "$tmp/upd_bfs_1.json")
+[ -n "$resettled" ] && [ -n "$full_settled" ] &&
+    [ "$resettled" -lt "$full_settled" ] || {
+  echo "FAIL: incremental BFS resettled $resettled of $full_settled" \
+       "vertices (expected strictly fewer than full recompute)" >&2
+  exit 1
+}
 
 echo "--- driver --serve drain gate (SIGTERM finishes the open, flushes metrics) ---"
 "$prefix/apps/bfs" "$tmp/serve.pgr" --serve 100000 -r 1 \

@@ -27,6 +27,12 @@ namespace pasgal {
 // mmap open path defers per-element CSR checks, and this is the single choke
 // point where all modern entry points pick them up (no-op after the first
 // call on a given storage handle; see Graph::ensure_validated).
+//
+// Wrappers whose kernels random-access the CSR arrays also guard with
+// ensure_no_delta: on a graph carrying a pending update overlay
+// (graphs/delta.h) they would silently compute against the stale base.
+// Only the edge_map-pure families (gbbs-bfs, pagerank) and the symmetrizing
+// cc driver path (symmetrize() collapses the overlay) see overlays through.
 
 namespace {
 
@@ -100,6 +106,7 @@ RunReport<std::vector<std::uint32_t>> seq_bfs(const Graph& g,
                                               const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("seq-bfs");
+  g.ensure_no_delta("seq-bfs");
   return run_traced(opt,
                     [&](Tracer* t) { return seq_bfs(g, opt.source, t); });
 }
@@ -118,6 +125,7 @@ RunReport<std::vector<std::uint32_t>> gapbs_bfs(const Graph& g, const Graph& gt,
   g.ensure_validated();
   gt.ensure_validated();
   gt.ensure_in_core("gapbs-bfs bottom-up");
+  g.ensure_no_delta("gapbs-bfs");
   GapbsParams p{opt.gapbs_alpha, opt.gapbs_beta};
   return run_traced(
       opt, [&](Tracer* t) { return gapbs_bfs(g, gt, opt.source, p, t); });
@@ -130,6 +138,7 @@ RunReport<std::vector<std::uint32_t>> pasgal_bfs(const Graph& g,
   gt.ensure_validated();
   g.ensure_in_core("pasgal-bfs");
   gt.ensure_in_core("pasgal-bfs");
+  g.ensure_no_delta("pasgal-bfs");
   PasgalBfsParams p = bfs_params(opt);
   return run_traced(
       opt, [&](Tracer* t) { return pasgal_bfs(g, gt, opt.source, p, t); });
@@ -140,6 +149,7 @@ BatchReport<std::vector<std::uint32_t>> ms_bfs(const Graph& g, const Graph& gt,
   g.ensure_validated();
   gt.ensure_validated();
   g.ensure_in_core("ms-bfs");
+  g.ensure_no_delta("ms-bfs");
   check_batch_sources(opt.sources, g.num_vertices());
   MsBfsParams p;
   p.dense_threshold_den = opt.algo.dense_threshold_den;
@@ -230,6 +240,7 @@ RunReport<std::vector<SccLabel>> tarjan_scc(const Graph& g,
                                             const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("tarjan-scc");
+  g.ensure_no_delta("tarjan-scc");
   return run_traced(opt, [&](Tracer* t) { return tarjan_scc(g, t); });
 }
 
@@ -239,6 +250,7 @@ RunReport<std::vector<SccLabel>> pasgal_scc(const Graph& g, const Graph& gt,
   gt.ensure_validated();
   g.ensure_in_core("pasgal-scc");
   gt.ensure_in_core("pasgal-scc");
+  g.ensure_no_delta("pasgal-scc");
   SccParams p = scc_params(opt);
   return run_traced(opt,
                     [&](Tracer* t) { return pasgal_scc(g, gt, p, t); });
@@ -250,6 +262,7 @@ RunReport<std::vector<SccLabel>> gbbs_scc(const Graph& g, const Graph& gt,
   gt.ensure_validated();
   g.ensure_in_core("gbbs-scc");
   gt.ensure_in_core("gbbs-scc");
+  g.ensure_no_delta("gbbs-scc");
   SccParams p = scc_params(opt);
   return run_traced(opt, [&](Tracer* t) { return gbbs_scc(g, gt, p, t); });
 }
@@ -260,6 +273,7 @@ RunReport<std::vector<SccLabel>> multistep_scc(const Graph& g, const Graph& gt,
   gt.ensure_validated();
   g.ensure_in_core("multistep-scc");
   gt.ensure_in_core("multistep-scc");
+  g.ensure_no_delta("multistep-scc");
   MultistepParams p{opt.multistep_cutoff};
   return run_traced(opt,
                     [&](Tracer* t) { return multistep_scc(g, gt, p, t); });
@@ -271,12 +285,14 @@ RunReport<BccResult> hopcroft_tarjan_bcc(const Graph& g,
                                          const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("hopcroft-tarjan-bcc");
+  g.ensure_no_delta("hopcroft-tarjan-bcc");
   return run_traced(opt, [&](Tracer* t) { return hopcroft_tarjan_bcc(g, t); });
 }
 
 RunReport<BccResult> fast_bcc(const Graph& g, const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("fast-bcc");
+  g.ensure_no_delta("fast-bcc");
   return run_traced(opt, [&](Tracer* t) { return fast_bcc(g, t); });
 }
 
@@ -284,12 +300,14 @@ RunReport<BccResult> tarjan_vishkin_bcc(const Graph& g,
                                         const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("tarjan-vishkin-bcc");
+  g.ensure_no_delta("tarjan-vishkin-bcc");
   return run_traced(opt, [&](Tracer* t) { return tarjan_vishkin_bcc(g, t); });
 }
 
 RunReport<BccResult> gbbs_bcc(const Graph& g, const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("gbbs-bcc");
+  g.ensure_no_delta("gbbs-bcc");
   return run_traced(opt, [&](Tracer* t) { return gbbs_bcc(g, t); });
 }
 
@@ -299,6 +317,7 @@ RunReport<ConnectivityResult> connected_components(const Graph& g,
                                                    const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("connected-components");
+  g.ensure_no_delta("connected-components");
   return run_traced(opt, [&](Tracer* t) { return connected_components(g, t); });
 }
 
@@ -306,6 +325,7 @@ RunReport<std::vector<VertexId>> label_prop_cc(const Graph& g,
                                                const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("label-prop-cc");
+  g.ensure_no_delta("label-prop-cc");
   return run_traced(opt, [&](Tracer* t) { return label_prop_cc(g, t); });
 }
 
@@ -313,6 +333,7 @@ RunReport<std::vector<VertexId>> ldd_cc(const Graph& g,
                                         const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("ldd-cc");
+  g.ensure_no_delta("ldd-cc");
   return run_traced(opt, [&](Tracer* t) {
     return ldd_cc(g, opt.scc_beta, opt.scc_seed, t);
   });
@@ -324,6 +345,7 @@ RunReport<std::vector<std::uint32_t>> seq_kcore(const Graph& g,
                                                 const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("seq-kcore");
+  g.ensure_no_delta("seq-kcore");
   return run_traced(opt, [&](Tracer* t) { return seq_kcore(g, t); });
 }
 
@@ -331,6 +353,7 @@ RunReport<std::vector<std::uint32_t>> pasgal_kcore(const Graph& g,
                                                    const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("pasgal-kcore");
+  g.ensure_no_delta("pasgal-kcore");
   KcoreParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) { return pasgal_kcore(g, p, t); });
 }
@@ -376,12 +399,14 @@ RunReport<PagerankResult> pasgal_pagerank(const Graph& g, const Graph& gt,
 RunReport<std::uint64_t> seq_tc(const Graph& g, const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("seq-tc");
+  g.ensure_no_delta("seq-tc");
   return run_traced(opt, [&](Tracer* t) { return seq_tc(g, t); });
 }
 
 RunReport<std::uint64_t> pasgal_tc(const Graph& g, const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("pasgal-tc");
+  g.ensure_no_delta("pasgal-tc");
   TcParams p;
   p.cancel = opt.cancel;
   return run_traced(opt, [&](Tracer* t) { return pasgal_tc(g, p, t); });
@@ -393,6 +418,7 @@ RunReport<std::vector<std::uint32_t>> seq_toposort(const Graph& g,
                                                    const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("seq-toposort");
+  g.ensure_no_delta("seq-toposort");
   return run_traced(opt, [&](Tracer* t) {
     std::vector<std::uint32_t> levels;
     seq_toposort(g, levels, t).throw_if_error();
@@ -404,6 +430,7 @@ RunReport<std::vector<std::uint32_t>> pasgal_toposort(const Graph& g,
                                                       const AlgoOptions& opt) {
   g.ensure_validated();
   g.ensure_in_core("pasgal-toposort");
+  g.ensure_no_delta("pasgal-toposort");
   ToposortParams p{opt.vgc};
   return run_traced(opt, [&](Tracer* t) {
     std::vector<std::uint32_t> levels;

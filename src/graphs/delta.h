@@ -1,0 +1,214 @@
+// Delta overlay for dynamic graph updates (DESIGN.md §5k).
+//
+// A registered `.pgr` is immutable — the mmap'd CSR never changes. Updates
+// are instead accumulated as a **DeltaSnapshot**: an immutable per-vertex
+// patch set (sorted insert targets, sorted delete targets) attached to the
+// graph's storage handle. The traversal layer merges it at the edge_map
+// choke point — dense pull and sparse push iterate (base minus deletes)
+// union inserts in ascending target order, which is exactly the adjacency
+// order `from_edges` produces — so the static kernels (bfs/cc/pagerank/sssp)
+// run unmodified and their results are byte-identical to a from-scratch
+// rebuild of the updated graph.
+//
+// Apply model: `apply_updates(g, batch)` validates a batch against the
+// *effective* graph (base ⊕ current overlay), builds the next snapshot
+// (persistent-data-structure style: the old snapshot is untouched, in-flight
+// traversals keep reading it), and publishes it on the storage handle. The
+// flipped (in-edge) snapshot is built in the same step and propagated to the
+// cached transpose, so pull traversals observe the same overlay version.
+//
+// Update semantics (directed edges, set semantics):
+//   * insert(u,v): v must not be an effective out-neighbor of u. If (u,v)
+//     is a deleted base edge, the delete is cancelled; otherwise v joins
+//     u's insert list.
+//   * delete(u,v): v must be an effective out-neighbor. If (u,v) is an
+//     overlay insert, the insert is cancelled; otherwise v joins u's delete
+//     list (suppressing every base copy — multigraph duplicates collapse).
+// Violations throw typed kValidation; updates on weighted or sharded
+// (windowed) graphs throw kUsage.
+//
+// Durability: batches append to a `.plog` update log (byte format in
+// DESIGN.md §5k — 16-byte header, per-batch frames with a count and an
+// xxhash-style payload checksum). A torn trailing append replays as a
+// consistent prefix; a corrupted complete frame is a typed kFormat error.
+// Compaction (`materialize_effective` + write_pgr + rename) collapses the
+// overlay into a new `.pgr` version; the registry's file-identity keying
+// detects the rewrite and swaps mappings on the next open.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graphs/graph.h"
+
+namespace pasgal {
+
+// One edge mutation. `op` is stored as u32 in the `.plog` records.
+struct EdgeUpdate {
+  enum class Op : std::uint32_t { kInsert = 0, kDelete = 1 };
+  Op op = Op::kInsert;
+  VertexId from = 0;
+  VertexId to = 0;
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+// Immutable per-vertex patch set: full (n+1) offset arrays over sorted
+// insert/delete target arrays. O(1) per-vertex lookup with no hashing, and
+// `touches(v)` — the traversal fast path — is two offset compares. Holds its
+// flipped (in-edge) counterpart, built in the same apply step, for pull
+// traversals over the cached transpose.
+class DeltaSnapshot {
+ public:
+  std::size_t num_vertices() const { return ins_offsets_.size() - 1; }
+  std::uint64_t insert_count() const { return ins_targets_.size(); }
+  std::uint64_t delete_count() const { return del_targets_.size(); }
+  // Batches folded into this snapshot since the overlay was first attached.
+  std::uint64_t batches() const { return batches_; }
+
+  bool touches(VertexId v) const {
+    return ins_offsets_[v + 1] != ins_offsets_[v] ||
+           del_offsets_[v + 1] != del_offsets_[v];
+  }
+  std::span<const VertexId> inserts(VertexId v) const {
+    return {ins_targets_.data() + ins_offsets_[v],
+            static_cast<std::size_t>(ins_offsets_[v + 1] - ins_offsets_[v])};
+  }
+  std::span<const VertexId> deletes(VertexId v) const {
+    return {del_targets_.data() + del_offsets_[v],
+            static_cast<std::size_t>(del_offsets_[v + 1] - del_offsets_[v])};
+  }
+  // Degree of v in the effective graph, given its base degree.
+  EdgeId effective_degree(VertexId v, EdgeId base_degree) const {
+    return base_degree + (ins_offsets_[v + 1] - ins_offsets_[v]) -
+           (del_offsets_[v + 1] - del_offsets_[v]);
+  }
+
+  // Heap footprint of this snapshot plus its flipped side (admission
+  // pricing in the server; both sides are attached together).
+  std::uint64_t resident_bytes() const;
+
+  // The in-edge-direction snapshot: op (u,v) here appears as (v,u) there.
+  // Null only on a flipped snapshot itself (one level, never chained).
+  const std::shared_ptr<const DeltaSnapshot>& flipped() const {
+    return flipped_;
+  }
+
+  // Merge iteration over v's *effective* adjacency in ascending target
+  // order: base copies not suppressed by a delete, interleaved with overlay
+  // inserts. `base` spans v's base targets (sorted; element i is global
+  // edge id e_begin + i). `f(target, edge_id)` returns false to stop early;
+  // inserts carry kInvalidEdge. Returns false when f stopped the scan.
+  template <typename F>
+  bool scan_effective(VertexId v, const VertexId* base, EdgeId e_begin,
+                      EdgeId e_end, F&& f) const {
+    std::span<const VertexId> ins = inserts(v);
+    std::span<const VertexId> del = deletes(v);
+    std::size_t ii = 0, di = 0;
+    for (EdgeId e = e_begin; e < e_end; ++e) {
+      VertexId t = base[e - e_begin];
+      while (ii < ins.size() && ins[ii] < t) {
+        if (!f(ins[ii++], kInvalidEdge)) return false;
+      }
+      while (di < del.size() && del[di] < t) ++di;
+      // One delete entry suppresses every base copy of t (deliberately not
+      // advancing di: the next base element may be a duplicate of t).
+      if (di < del.size() && del[di] == t) continue;
+      if (!f(t, e)) return false;
+    }
+    while (ii < ins.size()) {
+      if (!f(ins[ii++], kInvalidEdge)) return false;
+    }
+    return true;
+  }
+
+  // Construction is delta.cpp's job (apply_updates / log replay); tests and
+  // the builder go through this factory. The per-vertex lists must be
+  // sorted, duplicate-free, and disjoint in the apply-model sense.
+  static std::shared_ptr<const DeltaSnapshot> build(
+      std::size_t n, std::vector<EdgeId> ins_offsets,
+      std::vector<VertexId> ins_targets, std::vector<EdgeId> del_offsets,
+      std::vector<VertexId> del_targets, std::uint64_t batches);
+
+ private:
+  DeltaSnapshot() = default;
+
+  std::vector<EdgeId> ins_offsets_;    // size n+1
+  std::vector<VertexId> ins_targets_;  // sorted per vertex
+  std::vector<EdgeId> del_offsets_;    // size n+1
+  std::vector<VertexId> del_targets_;  // sorted per vertex
+  std::uint64_t batches_ = 0;
+  std::shared_ptr<const DeltaSnapshot> flipped_;
+};
+
+// Result of one apply (or replay): the batch's op mix plus the pending
+// overlay totals after it, for metrics and admission pricing.
+struct ApplyStats {
+  std::uint64_t batch_inserts = 0;  // insert ops in this batch
+  std::uint64_t batch_deletes = 0;  // delete ops in this batch
+  std::uint64_t inserts = 0;        // net pending overlay inserts after
+  std::uint64_t deletes = 0;        // net pending overlay deletes after
+  std::uint64_t batches = 0;        // batches folded into the overlay
+  std::uint64_t overlay_bytes = 0;  // snapshot heap footprint (both sides)
+};
+
+// Validates `batch` against the effective graph and publishes the next
+// overlay snapshot on g's storage handle (and its flipped side on the cached
+// transpose). Throws kUsage (weighted / windowed / sharded graph), or
+// kValidation (id out of range, insert of a present edge, delete of an
+// absent edge, unsorted base adjacency).
+ApplyStats apply_updates(const Graph& g, std::span<const EdgeUpdate> batch);
+
+// Replays every batch of a `.plog` through apply_updates. Returns the stats
+// of the final state (batches == number of frames replayed when the overlay
+// started empty).
+ApplyStats replay_update_log(const Graph& g, const std::string& path);
+
+// Stateful convenience binding a base graph to its overlay and (optionally)
+// an append-only log: each apply() validates, publishes, and — when a log
+// path is set — appends the batch frame after the validation succeeded, so
+// the log never records a rejected batch.
+class GraphDelta {
+ public:
+  explicit GraphDelta(Graph base, std::string log_path = "")
+      : base_(std::move(base)), log_path_(std::move(log_path)) {}
+
+  ApplyStats apply(std::span<const EdgeUpdate> batch);
+
+  std::shared_ptr<const DeltaSnapshot> snapshot() const {
+    return base_.storage() != nullptr ? base_.storage()->delta_snapshot()
+                                      : nullptr;
+  }
+  const Graph& base() const { return base_; }
+  const std::string& log_path() const { return log_path_; }
+
+ private:
+  Graph base_;
+  std::string log_path_;
+};
+
+// --- append-only update log (`.plog`) ---------------------------------------
+// Byte format (all little-endian; spec in DESIGN.md §5k):
+//   header  : 8-byte magic "PGRDLOG\0", u32 version (=1), u32 reserved (=0)
+//   frame   : u32 magic "BATC", u32 count, u64 hash_bytes(payload),
+//             payload = count × 12-byte records {u32 op, u32 from, u32 to}
+// Appends are single write()s, so a crash tears at most the trailing frame.
+
+inline constexpr std::uint32_t kPlogVersion = 1;
+
+// Writes header + one frame per batch, truncating any existing file.
+void write_update_log(const std::string& path,
+                      std::span<const std::vector<EdgeUpdate>> batches);
+
+// Appends one frame, creating the file (with header) when absent or empty.
+void append_update_batch(const std::string& path,
+                         std::span<const EdgeUpdate> batch);
+
+// Reads every complete frame. A torn trailing frame (crashed append) yields
+// the consistent prefix; a bad magic/version/op or a checksum mismatch on a
+// complete frame throws kFormat; unreadable file throws kIo.
+std::vector<std::vector<EdgeUpdate>> read_update_log(const std::string& path);
+
+}  // namespace pasgal

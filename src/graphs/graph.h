@@ -35,6 +35,18 @@ static_assert(std::is_same_v<VertexId, StorageVertexId>);
 static_assert(std::is_same_v<EdgeId, StorageEdgeId>);
 
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+// Edge id handed to edge_map updates for overlay-inserted edges: they have no
+// slot in the base targets array (weighted traversals never see one — updates
+// on weighted graphs are rejected at apply_updates).
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+class Graph;
+
+// The delta overlay collapsed into a plain heap CSR: (base minus deleted
+// edges) plus inserted edges, per-vertex sorted — the same adjacency order a
+// from-scratch rebuild produces. Returns the graph unchanged when no overlay
+// is attached. Implemented in graphs/delta.cpp.
+Graph materialize_effective(const Graph& g);
 
 // Parallel CSR invariant check (implemented in graphs/validate.cpp):
 // offsets present and monotone, offsets[0] == 0, offsets[n] == m, every
@@ -103,6 +115,25 @@ class Graph {
   // (edge_map) can read edges.
   bool windowed() const { return storage_ != nullptr && storage_->windowed(); }
 
+  // True when a pending update overlay (graphs/delta.h) is attached: the
+  // base spans alone no longer describe the graph. edge_map merges the
+  // overlay in; direct CSR readers must materialize_effective() or guard
+  // with ensure_no_delta().
+  bool has_delta() const { return storage_ != nullptr && storage_->has_delta(); }
+
+  // Typed guard for algorithms that random-access offsets()/targets()
+  // directly: on an overlaid graph they would silently compute against the
+  // stale base adjacency.
+  void ensure_no_delta(const char* what) const {
+    if (!has_delta()) return;
+    throw Error(ErrorCategory::kUsage,
+                std::string(what) +
+                    " reads the base CSR directly and cannot see this "
+                    "graph's pending update overlay; compact the graph "
+                    "first or use an edge_map-based variant",
+                storage_->source_path());
+  }
+
   // Typed guard for algorithms that random-access the adjacency arrays.
   // Rejects BOTH sharded modes: windowed (compressed) opens have no
   // whole-graph targets at all, and raw sharded opens keep full spans but
@@ -159,6 +190,7 @@ class Graph {
 
   std::vector<Edge> to_edges() const {
     ensure_in_core("edge-list export");
+    if (has_delta()) return materialize_effective(*this).to_edges();
     std::vector<Edge> edges(num_edges());
     parallel_for(0, num_vertices(), [&](std::size_t v) {
       for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
@@ -391,6 +423,7 @@ inline Graph Graph::transpose() const {
 
 inline Graph Graph::symmetrize() const {
   ensure_in_core("symmetrization");
+  if (has_delta()) return materialize_effective(*this).symmetrize();
   std::size_t n = num_vertices();
   std::size_t m = num_edges();
   std::vector<Edge> both(2 * m);
@@ -404,6 +437,9 @@ inline Graph Graph::symmetrize() const {
 }
 
 inline bool Graph::is_symmetric() const {
+  // operator== compares base spans; collapse the overlay first so the
+  // transpose and the forward graph are compared at the same version.
+  if (has_delta()) return materialize_effective(*this).is_symmetric();
   Graph t = transpose();
   Graph self = from_edges(num_vertices(), to_edges());  // sorted lists
   return self == t;

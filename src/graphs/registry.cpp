@@ -54,7 +54,10 @@ StorageRef GraphRegistry::open_shared(
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::shared_ptr<Entry>& slot = table_[key];
-    if (slot == nullptr) slot = std::make_shared<Entry>();
+    if (slot == nullptr) {
+      slot = std::make_shared<Entry>();
+      slot->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    }
     entry = slot;
   }
 
@@ -161,18 +164,25 @@ std::uint64_t GraphRegistry::evict_lru(std::uint64_t bytes_needed) {
   struct Candidate {
     FileKey key;
     std::uint64_t last_use_ns;
+    std::uint64_t seq;
     std::uint64_t bytes;
   };
   std::vector<Candidate> candidates;
   for (const auto& [key, entry] : table_) {
     std::lock_guard<std::mutex> entry_lock(entry->mu);
     if (entry->strong != nullptr && !entry->pinned) {
-      candidates.push_back({key, entry->last_use_ns, entry->bytes});
+      candidates.push_back({key, entry->last_use_ns, entry->seq,
+                            entry->bytes});
     }
   }
+  // Equal timestamps happen (entries touched within one steady_clock tick);
+  // the insertion sequence breaks the tie deterministically, oldest first.
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
-              return a.last_use_ns < b.last_use_ns;
+              if (a.last_use_ns != b.last_use_ns) {
+                return a.last_use_ns < b.last_use_ns;
+              }
+              return a.seq < b.seq;
             });
 
   std::uint64_t released = 0;
@@ -200,6 +210,16 @@ void GraphRegistry::clear() {
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
   bytes_mapped_.store(0, std::memory_order_relaxed);
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+bool GraphRegistry::set_last_use_for_testing(const std::string& path,
+                                             std::uint64_t ns) {
+  std::shared_ptr<Entry> entry = find_entry(path);
+  if (entry == nullptr) return false;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->last_use_ns = ns;
+  return true;
 }
 
 GraphRegistry::Stats GraphRegistry::stats() const {

@@ -139,6 +139,11 @@ class GraphRegistry {
   // Drops every entry and zeroes all counters. Test hook.
   void clear();
 
+  // Test-only: overwrite the last-use timestamp of `path`'s entry so LRU
+  // tie-breaking is exercisable without racing the steady clock. Returns
+  // false when there is no entry.
+  bool set_last_use_for_testing(const std::string& path, std::uint64_t ns);
+
   Stats stats() const;
 
   // Snapshot of every table entry (diagnostics; O(entries)).
@@ -161,6 +166,10 @@ class GraphRegistry {
     bool pinned = false;  // strong && pinned => protected from evict_lru()
     std::uint64_t last_use_ns = 0;  // steady clock; open/pin/retain update it
     std::uint64_t bytes = 0;        // mapped bytes of this entry's storage
+    // Insertion order, for LRU tie-breaking: two entries created in the same
+    // steady_clock tick have equal last_use_ns, and sorting on the timestamp
+    // alone would evict one of them nondeterministically.
+    std::uint64_t seq = 0;
     std::string path;  // last spelling opened; diagnostics only
   };
 
@@ -175,6 +184,7 @@ class GraphRegistry {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> bytes_mapped_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
 };
 
 }  // namespace pasgal

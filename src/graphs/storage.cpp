@@ -14,6 +14,7 @@
 #define MADV_HUGEPAGE MADV_NORMAL  // hint degrades to a no-op off Linux
 #endif
 
+#include "graphs/delta.h"
 #include "pasgal/fault.h"
 #include "pasgal/resource.h"
 
@@ -470,7 +471,35 @@ StorageRef GraphStorage::transpose_cache() const {
 StorageRef GraphStorage::set_transpose_cache(StorageRef t) {
   std::lock_guard<std::mutex> lock(transpose_mu_);
   if (transpose_ == nullptr) transpose_ = std::move(t);
+  // A transpose built after updates were applied must see the overlay's
+  // in-edge side; without this, a late pull traversal would read stale base
+  // adjacency. One level only: a transpose never carries its own delta.
+  if (delta_ != nullptr && transpose_ != nullptr) {
+    transpose_->set_delta(delta_->flipped());
+  }
   return transpose_;
+}
+
+std::shared_ptr<const DeltaSnapshot> GraphStorage::delta_snapshot() const {
+  if (!has_delta()) return nullptr;
+  std::lock_guard<std::mutex> lock(transpose_mu_);
+  return delta_;
+}
+
+void GraphStorage::set_delta(std::shared_ptr<const DeltaSnapshot> d) {
+  StorageRef t;
+  {
+    std::lock_guard<std::mutex> lock(transpose_mu_);
+    delta_ = d;
+    has_delta_.store(d != nullptr, std::memory_order_release);
+    t = transpose_;
+  }
+  // Propagate outside the lock (the transpose's own set_delta takes its own
+  // transpose_mu_; it has no cached transpose of its own, so this cannot
+  // recurse further than one level).
+  if (t != nullptr) {
+    t->set_delta(d != nullptr ? d->flipped() : nullptr);
+  }
 }
 
 }  // namespace pasgal

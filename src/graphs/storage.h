@@ -223,6 +223,11 @@ class MappedWindow {
 class GraphStorage;
 using StorageRef = std::shared_ptr<GraphStorage>;
 
+// Immutable per-vertex insert/delete patch set layered over a storage's CSR
+// (graphs/delta.h). Attached to the storage handle so every Graph copy and
+// the cached transpose observe one consistent overlay version.
+class DeltaSnapshot;
+
 // Move-only owner of one graph's CSR memory. Always held via shared_ptr
 // (StorageRef) so graphs, their copies, and cached transposes share it.
 class GraphStorage {
@@ -370,8 +375,32 @@ class GraphStorage {
   // is keyed by identity: two Graph copies sharing this handle share it.
   StorageRef transpose_cache() const;
   // First-wins publish (concurrent transposes both compute; one result is
-  // kept). Returns the cached handle all callers should use.
+  // kept). Returns the cached handle all callers should use. If this storage
+  // carries a delta overlay, the flipped (in-edge) snapshot is propagated
+  // onto the freshly cached transpose so pull traversals see the same
+  // overlay version immediately.
   StorageRef set_transpose_cache(StorageRef t);
+
+  // --- delta overlay ---------------------------------------------------------
+  // The pending update overlay (graphs/delta.h), or null. Readers take the
+  // lock-free fast path when has_delta() is false — the common case for
+  // static graphs — and fetch the shared snapshot once per traversal entry
+  // otherwise. set_delta() also pushes the snapshot's flipped (in-edge) side
+  // onto the cached transpose, and accepts null to clear (compaction).
+  bool has_delta() const { return has_delta_.load(std::memory_order_acquire); }
+  std::shared_ptr<const DeltaSnapshot> delta_snapshot() const;
+  void set_delta(std::shared_ptr<const DeltaSnapshot> d);
+
+  // One-time memo for the overlay's sorted-adjacency invariant: the merge in
+  // edge_map and the membership checks in apply_updates binary-search the
+  // base lists, so the first apply_updates on a handle verifies per-vertex
+  // sortedness once and records it here.
+  bool adjacency_sorted() const {
+    return adjacency_sorted_.load(std::memory_order_acquire);
+  }
+  void mark_adjacency_sorted() const {
+    adjacency_sorted_.store(true, std::memory_order_release);
+  }
 
  private:
   GraphStorage() = default;
@@ -392,9 +421,13 @@ class GraphStorage {
   std::shared_ptr<const ShardPlan> shard_plan_;
   std::shared_ptr<MappedWindow> shard_window_;
   mutable std::atomic<bool> validated_{false};
+  mutable std::atomic<bool> adjacency_sorted_{false};
 
+  // transpose_mu_ also guards delta_; has_delta_ is the lock-free fast path.
   mutable std::mutex transpose_mu_;
   StorageRef transpose_;
+  std::shared_ptr<const DeltaSnapshot> delta_;
+  std::atomic<bool> has_delta_{false};
 };
 
 }  // namespace pasgal

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <new>
@@ -20,6 +21,7 @@
 #include "algorithms/pagerank/pagerank.h"
 #include "algorithms/sssp/sssp.h"
 #include "algorithms/tc/tc.h"
+#include "graphs/delta.h"
 #include "graphs/graph_io.h"
 #include "graphs/registry.h"
 #include "pasgal/cancel.h"
@@ -151,6 +153,45 @@ void record_shard(MetricsDoc& doc, const Graph& g) {
     faults += t->shard_window()->faults();
   }
   doc.set_shard(w.plan().size(), w.plan().window_bytes(), sweeps, faults);
+}
+
+// The "delta" metrics object for a query answered through an update overlay:
+// overlay size as the algorithm saw it. The repair triple is zero here —
+// only the drivers' incremental --updates path re-settles selectively.
+void record_delta(MetricsDoc& doc, const Graph& g) {
+  if (g.storage() == nullptr) return;
+  std::shared_ptr<const DeltaSnapshot> d = g.storage()->delta_snapshot();
+  if (d == nullptr) return;
+  doc.set_delta(d->insert_count(), d->delete_count(), d->batches(), 0, 0,
+                false);
+}
+
+// update's add=/del= values: comma-separated from:to pairs, each vertex a
+// decimal id. Malformed pairs are typed usage errors naming the offender.
+void parse_edge_pairs(const std::string& spec, EdgeUpdate::Op op,
+                      std::vector<EdgeUpdate>& out) {
+  std::size_t i = 0;
+  while (i < spec.size()) {
+    std::size_t comma = spec.find(',', i);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string pair = spec.substr(i, comma - i);
+    i = comma + 1;
+    std::size_t colon = pair.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == pair.size()) {
+      throw Error(ErrorCategory::kUsage,
+                  "update: malformed edge '" + pair +
+                      "' (expected <from>:<to>)");
+    }
+    EdgeUpdate u;
+    u.op = op;
+    u.from = static_cast<VertexId>(
+        cli::parse_int(pair.substr(0, colon), "update edge endpoint", 0,
+                       (1LL << 32) - 1, ErrorCategory::kUsage));
+    u.to = static_cast<VertexId>(
+        cli::parse_int(pair.substr(colon + 1), "update edge endpoint", 0,
+                       (1LL << 32) - 1, ErrorCategory::kUsage));
+    out.push_back(u);
+  }
 }
 
 }  // namespace
@@ -334,21 +375,37 @@ std::string Server::handle_request(const std::string& line) {
       check_vocabulary(req, {"graph", "source", "sources", "algo",
                              "deadline_ms"}, {});
       if (auto batch = req.kv.find("sources"); batch != req.kv.end()) {
+        // Resolve the graph before the source list so every sources= error
+        // below can carry it: a client multiplexing several graphs over one
+        // connection cannot tell which request a bare "duplicate source"
+        // line belonged to.
+        std::string path = require_graph(req);
         if (req.kv.count("source") != 0) {
           throw Error(ErrorCategory::kUsage,
                       req.cmd + ": source= conflicts with sources= (give one "
-                                "vertex or a batch)");
+                                "vertex or a batch)",
+                      path);
         }
         // allow_file=false: a remote peer must not name paths on the serving
         // host. Oversized lists and duplicates are typed kUsage errors here,
         // never silently truncated.
-        std::vector<std::uint32_t> sources =
-            cli::parse_sources(batch->second, /*allow_file=*/false);
+        std::vector<std::uint32_t> sources;
+        try {
+          sources = cli::parse_sources(batch->second, /*allow_file=*/false);
+        } catch (const Error& e) {
+          // parse_sources knows nothing about graphs; re-raise with the
+          // graph as file context ("[usage] <graph>: <message>").
+          std::string msg = e.what();
+          std::string prefix = std::string("[") + to_string(e.category()) +
+                               "] ";
+          if (msg.rfind(prefix, 0) == 0) msg = msg.substr(prefix.size());
+          throw Error(e.category(), req.cmd + ": " + msg, path);
+        }
         std::string algo = req.cmd == "bfs" ? "ms" : "rho";
         if (auto it = req.kv.find("algo"); it != req.kv.end()) {
           algo = it->second;
         }
-        out = do_batch(req.cmd, require_graph(req), sources, algo,
+        out = do_batch(req.cmd, path, sources, algo,
                        kv_int(req, "deadline_ms", opts_.default_deadline_ms,
                               1LL << 40));
       } else {
@@ -371,6 +428,20 @@ std::string Server::handle_request(const std::string& line) {
       out = do_family_query(req.cmd, require_graph(req), algo,
                             kv_int(req, "deadline_ms",
                                    opts_.default_deadline_ms, 1LL << 40));
+    } else if (req.cmd == "update") {
+      check_vocabulary(req, {"graph", "add", "del", "deadline_ms"}, {});
+      auto add_it = req.kv.find("add");
+      auto del_it = req.kv.find("del");
+      out = do_update(require_graph(req),
+                      add_it == req.kv.end() ? std::string() : add_it->second,
+                      del_it == req.kv.end() ? std::string() : del_it->second,
+                      kv_int(req, "deadline_ms", opts_.default_deadline_ms,
+                             1LL << 40));
+    } else if (req.cmd == "compact") {
+      check_vocabulary(req, {"graph", "deadline_ms"}, {});
+      out = do_compact(require_graph(req),
+                       kv_int(req, "deadline_ms", opts_.default_deadline_ms,
+                              1LL << 40));
     } else if (req.cmd == "stats") {
       check_vocabulary(req, {}, {});
       out = do_stats();
@@ -385,7 +456,7 @@ std::string Server::handle_request(const std::string& line) {
       throw Error(ErrorCategory::kUsage,
                   "unknown command '" + req.cmd +
                       "' (expected open|bfs|sssp|cc|kcore|pagerank|tc|"
-                      "stats|evict|shutdown)");
+                      "update|compact|stats|evict|shutdown)");
     }
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
     return one_line(std::move(out));
@@ -555,6 +626,7 @@ std::string Server::do_query(const std::string& cmd, const std::string& path,
     if (deadline_ms != 0) doc.set_param("deadline_ms", deadline_ms);
     doc.add_trial(report.seconds, report.telemetry);
     record_shard(doc, g);
+    record_delta(doc, g);
     return doc.to_json();
   }
 
@@ -672,6 +744,7 @@ std::string Server::do_family_query(const std::string& cmd,
                   static_cast<std::uint64_t>(report.output.iterations));
     doc.add_trial(report.seconds, report.telemetry);
     record_shard(doc, g);
+    record_delta(doc, g);
     return doc.to_json();
   }
 
@@ -701,7 +774,144 @@ std::string Server::do_family_query(const std::string& cmd,
     doc.add_trial(report.seconds, report.telemetry);
   }
   record_shard(doc, g);
+  record_delta(doc, g);
   return doc.to_json();
+}
+
+std::string Server::do_update(const std::string& path,
+                              const std::string& add_spec,
+                              const std::string& del_spec,
+                              std::uint64_t deadline_ms) {
+  if (opts_.shard_window_bytes != 0) {
+    throw Error(ErrorCategory::kUsage,
+                "update: sharded serving mode (--shard-mb) serves immutable "
+                "per-query windows; updates need an in-core resident mapping",
+                path);
+  }
+  std::vector<EdgeUpdate> batch;
+  parse_edge_pairs(add_spec, EdgeUpdate::Op::kInsert, batch);
+  parse_edge_pairs(del_spec, EdgeUpdate::Op::kDelete, batch);
+  if (batch.empty()) {
+    throw Error(ErrorCategory::kUsage,
+                "update: empty batch (give add=<u:v,...> and/or "
+                "del=<u:v,...>)",
+                path);
+  }
+
+  PgrShardSpec spec = ensure_open(path);
+  if (spec.enabled()) {
+    throw Error(ErrorCategory::kUsage,
+                "update: graph does not fit in core (shard_auto chose a "
+                "windowed open); raise the admission budget or compact",
+                path);
+  }
+
+  CancelToken token;
+  if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
+
+  GraphRegistry& reg = GraphRegistry::instance();
+  std::lock_guard<std::mutex> exec(exec_mu_);
+  Graph g = read_pgr(path);  // registry hit: the retained resident mapping
+
+  // Admission pricing for the overlay growth: the rebuilt snapshot re-copies
+  // the old patches plus this batch on both sides (forward + flipped), and
+  // each side carries two full offset arrays. Priced before apply so an
+  // over-budget update is refused with nothing mutated.
+  std::uint64_t budget = admission_budget();
+  std::uint64_t old_bytes = 0, old_edges = 0;
+  if (std::shared_ptr<const DeltaSnapshot> d = g.storage()->delta_snapshot()) {
+    old_bytes = d->resident_bytes();
+    old_edges = d->insert_count() + d->delete_count();
+  }
+  std::uint64_t need =
+      4 * (g.num_vertices() + 1) * sizeof(std::uint64_t) +
+      2 * 2 * (old_edges + batch.size()) * sizeof(VertexId);
+  need = need > old_bytes ? need - old_bytes : 0;
+  std::uint64_t resident = reg.stats().resident_bytes;
+  if (resident + need > budget) {
+    reg.evict_lru(resident + need - budget);
+    resident = reg.stats().resident_bytes;
+  }
+  if (resident + need > budget) {
+    throw Error(ErrorCategory::kResource,
+                "update: overlay growth needs " + std::to_string(need) +
+                    " bytes but the " + std::to_string(budget) +
+                    "-byte budget has " + std::to_string(resident) +
+                    " resident and nothing evictable left",
+                path);
+  }
+
+  token.check("update admission");
+  ApplyStats stats = apply_updates(g, batch);
+  token.check("update apply");
+  // Pin: LRU eviction of a graph with pending updates would silently drop
+  // them; only an explicit evict (which reports the drop) may do that.
+  reg.pin(path);
+  return "ok updated graph=" + path +
+         " batch_inserts=" + std::to_string(stats.batch_inserts) +
+         " batch_deletes=" + std::to_string(stats.batch_deletes) +
+         " inserts=" + std::to_string(stats.inserts) +
+         " deletes=" + std::to_string(stats.deletes) +
+         " batches=" + std::to_string(stats.batches) +
+         " overlay_bytes=" + std::to_string(stats.overlay_bytes) + " pinned=1";
+}
+
+std::string Server::do_compact(const std::string& path,
+                               std::uint64_t deadline_ms) {
+  if (opts_.shard_window_bytes != 0) {
+    throw Error(ErrorCategory::kUsage,
+                "compact: sharded serving mode has no resident overlay to "
+                "fold",
+                path);
+  }
+  GraphRegistry& reg = GraphRegistry::instance();
+  if (!reg.retain(path)) {
+    throw Error(ErrorCategory::kUsage,
+                "compact: graph is not resident (open/update it first)", path);
+  }
+
+  CancelToken token;
+  if (deadline_ms != 0) token.set_deadline_ms(deadline_ms);
+
+  std::lock_guard<std::mutex> exec(exec_mu_);
+  Graph g = read_pgr(path);  // registry hit
+  std::shared_ptr<const DeltaSnapshot> d = g.storage()->delta_snapshot();
+  if (d == nullptr) {
+    return "ok compacted graph=" + path + " noop=1";
+  }
+  std::uint64_t folded_ins = d->insert_count();
+  std::uint64_t folded_del = d->delete_count();
+
+  token.check("compact admission");
+  Graph folded = materialize_effective(g);
+  token.check("compact materialize");
+
+  PgrInfo info = probe_pgr(path);
+  PgrWriteOptions wopts;
+  wopts.include_transpose = info.has_transpose;
+  wopts.symmetric = info.symmetric;
+  wopts.compress_targets = info.compressed;
+  std::string tmp = path + ".compact.tmp";
+  write_pgr(folded, tmp, wopts);
+
+  // Drop the stale entry while `path` still stats to the old bytes — after
+  // the rename its FileKey no longer matches and the pinned entry would be
+  // an unreachable zombie holding the pre-compact mapping alive.
+  reg.unpin(path);
+  reg.evict(path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    std::remove(tmp.c_str());
+    throw Error(ErrorCategory::kIo,
+                std::string("compact rename: ") + std::strerror(err), path);
+  }
+  // The next open stats the rewritten file: new size/mtime, new key, fresh
+  // mapping of the folded bytes (registry rewrite detection).
+  return "ok compacted graph=" + path +
+         " inserts_folded=" + std::to_string(folded_ins) +
+         " deletes_folded=" + std::to_string(folded_del) +
+         " n=" + std::to_string(folded.num_vertices()) +
+         " m=" + std::to_string(folded.num_edges());
 }
 
 std::string Server::do_stats() {
@@ -722,11 +932,23 @@ std::string Server::do_stats() {
 
 std::string Server::do_evict(const std::string& path) {
   GraphRegistry& reg = GraphRegistry::instance();
+  // An explicit evict is allowed to discard pending updates, but never
+  // silently: count them while the mapping is still reachable.
+  std::uint64_t dropped = 0;
+  if (reg.retain(path)) {
+    Graph g = read_pgr(path);  // registry hit on the retained mapping
+    if (std::shared_ptr<const DeltaSnapshot> d =
+            g.storage()->delta_snapshot()) {
+      dropped = d->insert_count() + d->delete_count();
+    }
+  }
   reg.unpin(path);
   if (!reg.evict(path)) {
     throw Error(ErrorCategory::kValidation, "not open", path);
   }
-  return "ok evicted graph=" + path;
+  std::string out = "ok evicted graph=" + path;
+  if (dropped != 0) out += " dropped_updates=" + std::to_string(dropped);
+  return out;
 }
 
 }  // namespace pasgal

@@ -61,8 +61,28 @@
 //                                         [usage] error; pagerank algo=pasgal
 //                                         runs shard-at-a-time through the
 //                                         transpose's window.
+//   update graph=<p> [add=<u:v,...>] [del=<u:v,...>] [deadline_ms=<n>]
+//                                      -> ok updated ... applies one edge
+//                                         batch to the resident graph's
+//                                         delta overlay (graphs/delta.h).
+//                                         Admission prices the overlay
+//                                         growth; the graph is pinned so
+//                                         LRU pressure cannot silently drop
+//                                         pending updates. Sharded opens
+//                                         and weighted graphs answer with a
+//                                         typed [usage] error.
+//   compact graph=<p> [deadline_ms=<n>]
+//                                      -> ok compacted ... folds the overlay
+//                                         into a rewritten .pgr (write to a
+//                                         temp file, rename over the
+//                                         original) and drops the stale
+//                                         registry entry; the registry's
+//                                         mtime/size keying makes the next
+//                                         open map the new bytes.
 //   stats                              -> ok entries=... resident_bytes=...
-//   evict graph=<p>                    -> ok evicted ...
+//   evict graph=<p>                    -> ok evicted ... (reports
+//                                         dropped_updates=N when the entry
+//                                         carried an uncompacted overlay)
 //   shutdown                           -> ok draining   (then run() returns)
 //   anything else                      -> error [usage] ...
 //
@@ -169,6 +189,15 @@ class Server {
   std::string do_family_query(const std::string& cmd, const std::string& path,
                               const std::string& algo,
                               std::uint64_t deadline_ms);
+  // Applies one insert/delete batch to `path`'s resident mapping as a delta
+  // overlay, pricing the overlay growth against the admission budget and
+  // pinning the entry (pending updates must not be LRU-evicted).
+  std::string do_update(const std::string& path, const std::string& add_spec,
+                        const std::string& del_spec, std::uint64_t deadline_ms);
+  // Folds `path`'s overlay into a rewritten .pgr (temp file + rename) and
+  // evicts the stale entry so the registry's rewrite detection maps the new
+  // bytes on the next open.
+  std::string do_compact(const std::string& path, std::uint64_t deadline_ms);
   std::string do_stats();
   std::string do_evict(const std::string& path);
 

@@ -570,6 +570,25 @@ void MetricsDoc::set_shard(std::uint64_t shards, std::uint64_t window_bytes,
   shard_json_ = std::move(out);
 }
 
+void MetricsDoc::set_delta(std::uint64_t inserts, std::uint64_t deletes,
+                           std::uint64_t batches, std::uint64_t resettled,
+                           std::uint64_t full_settled, bool fallback) {
+  std::string out = "{";
+  append_kv(out, "inserts", inserts);
+  out += ',';
+  append_kv(out, "deletes", deletes);
+  out += ',';
+  append_kv(out, "batches", batches);
+  out += ',';
+  append_kv(out, "resettled", resettled);
+  out += ',';
+  append_kv(out, "full_settled", full_settled);
+  out += ',';
+  append_kv(out, "fallback", static_cast<std::uint64_t>(fallback ? 1 : 0));
+  out += '}';
+  delta_json_ = std::move(out);
+}
+
 std::string MetricsDoc::to_json() const {
   std::string out = "{\"schema\":\"";
   out += kMetricsSchema;
@@ -603,6 +622,10 @@ std::string MetricsDoc::to_json() const {
   if (!shard_json_.empty()) {
     out += ",\"shard\":";
     out += shard_json_;
+  }
+  if (!delta_json_.empty()) {
+    out += ",\"delta\":";
+    out += delta_json_;
   }
   out += ",\"trials\":[";
   for (std::size_t i = 0; i < trials_.size(); ++i) {
@@ -923,6 +946,39 @@ Status validate_metrics(const json::Value& doc) {
     // is also a sweep, so faults can never outnumber sweeps.
     if (faults->number > sweeps->number) {
       return schema_fail("shard.window_faults > shard.shard_sweeps");
+    }
+  }
+
+  // Runs over an update overlay carry a top-level "delta" object
+  // (set_delta): overlay size plus the incremental repair scope.
+  if (const json::Value* delta = doc.find("delta")) {
+    if (!delta->is_object()) return schema_fail("delta is not an object");
+    const json::Value* inserts =
+        require(*delta, "inserts", json::Value::Kind::kNumber, st, "delta");
+    const json::Value* deletes =
+        require(*delta, "deletes", json::Value::Kind::kNumber, st, "delta");
+    const json::Value* batches =
+        require(*delta, "batches", json::Value::Kind::kNumber, st, "delta");
+    const json::Value* resettled =
+        require(*delta, "resettled", json::Value::Kind::kNumber, st, "delta");
+    const json::Value* full_settled = require(
+        *delta, "full_settled", json::Value::Kind::kNumber, st, "delta");
+    const json::Value* fallback =
+        require(*delta, "fallback", json::Value::Kind::kNumber, st, "delta");
+    if (!st.ok()) return st;
+    if (inserts->number < 0 || deletes->number < 0 ||
+        resettled->number < 0 || full_settled->number < 0) {
+      return schema_fail("delta counters must be non-negative");
+    }
+    // An overlay exists only after at least one applied batch.
+    if (batches->number < 1) return schema_fail("delta.batches < 1");
+    if (fallback->number != 0 && fallback->number != 1) {
+      return schema_fail("delta.fallback must be 0 or 1");
+    }
+    // The whole point of the incremental path: it never settles more than a
+    // from-scratch recompute (equality = the churn fallback ran).
+    if (resettled->number > full_settled->number) {
+      return schema_fail("delta.resettled > delta.full_settled");
     }
   }
 

@@ -283,6 +283,19 @@ class MetricsDoc {
   void set_shard(std::uint64_t shards, std::uint64_t window_bytes,
                  std::uint64_t shard_sweeps, std::uint64_t window_faults);
 
+  // Update-overlay execution: the delta overlay attached to the graph at run
+  // time and, for incremental repairs, the repair scope, emitted as a
+  // top-level "delta" object
+  //   {"inserts":i,"deletes":d,"batches":b,
+  //    "resettled":r,"full_settled":n,"fallback":0|1}
+  // between shard (if any) and trials. `resettled` is how many vertices the
+  // incremental pass actually re-settled, `full_settled` what a from-scratch
+  // recompute settles (n); a static overlay run reports 0/0/0 for the repair
+  // triple. Absent when the graph has no overlay.
+  void set_delta(std::uint64_t inserts, std::uint64_t deletes,
+                 std::uint64_t batches, std::uint64_t resettled,
+                 std::uint64_t full_settled, bool fallback);
+
   std::size_t num_trials() const { return trials_.size(); }
   std::string to_json() const;
 
@@ -293,6 +306,7 @@ class MetricsDoc {
   std::vector<std::pair<std::string, std::string>> params_;  // name -> encoded
   std::string batch_json_;  // encoded "batch" object; empty = single-source
   std::string shard_json_;  // encoded "shard" object; empty = in-core
+  std::string delta_json_;  // encoded "delta" object; empty = no overlay
   struct Trial {
     double seconds;
     RunTelemetry telemetry;

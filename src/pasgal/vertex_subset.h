@@ -31,6 +31,15 @@ class VertexSubset {
     if (!std::is_sorted(s.sparse_.begin(), s.sparse_.end())) {
       std::sort(s.sparse_.begin(), s.sparse_.end());
     }
+    // The list is sorted, so one compare on the maximum validates every id.
+    // Out-of-universe members would otherwise ride the sorted invariant into
+    // to_dense()'s unchecked mask indexing.
+    if (!s.sparse_.empty() && s.sparse_.back() >= n) {
+      throw Error(ErrorCategory::kValidation,
+                  "sparse frontier contains vertex " +
+                      std::to_string(s.sparse_.back()) +
+                      ", out of range for a universe of " + std::to_string(n));
+    }
     // Hash-bag extractions are multisets (a vertex can be inserted by
     // several neighbors in one round); a frontier is a set. Without this,
     // size() and out_degree_sum() overstate and the duplicates skew

@@ -336,6 +336,47 @@ TEST_F(RegistryTest, EvictLruDropsOldestFirstAndStopsAtTheTarget) {
   EXPECT_TRUE(entries[0].live);
 }
 
+TEST_F(RegistryTest, EvictLruBreaksTimestampTiesByInsertionOrder) {
+  // Two graphs registered within one steady_clock tick have equal
+  // last_use_ns; the comparator used to sort on the timestamp alone, so
+  // which one got evicted depended on std::sort's whim over equal keys.
+  // The insertion sequence number makes the victim deterministic: oldest
+  // registration first.
+  std::string first = write_graph("tie_a.pgr", 96);
+  std::string second = write_graph("tie_b.pgr", 96);
+  {
+    Graph a = read_pgr(first, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(first));
+    Graph b = read_pgr(second, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(second));
+  }
+  // Force the exact tie the wall clock only sometimes produces.
+  ASSERT_TRUE(GraphRegistry::instance().set_last_use_for_testing(first, 777));
+  ASSERT_TRUE(GraphRegistry::instance().set_last_use_for_testing(second, 777));
+  EXPECT_GT(GraphRegistry::instance().evict_lru(1), 0u);
+  std::vector<GraphRegistry::EntryInfo> entries =
+      GraphRegistry::instance().entry_stats();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, second)
+      << "equal timestamps must evict the earlier registration";
+
+  // And the tie-break only applies on equal timestamps: make the later
+  // registration older and it becomes the victim.
+  GraphRegistry::instance().clear();
+  {
+    Graph a = read_pgr(first, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(first));
+    Graph b = read_pgr(second, PgrOpen::kMmap);
+    ASSERT_TRUE(GraphRegistry::instance().retain(second));
+  }
+  ASSERT_TRUE(GraphRegistry::instance().set_last_use_for_testing(first, 900));
+  ASSERT_TRUE(GraphRegistry::instance().set_last_use_for_testing(second, 100));
+  EXPECT_GT(GraphRegistry::instance().evict_lru(1), 0u);
+  entries = GraphRegistry::instance().entry_stats();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, first);
+}
+
 TEST_F(RegistryTest, ReopenRefreshesLruOrder) {
   std::string first = write_graph("lru_ref_a.pgr", 96);
   std::string second = write_graph("lru_ref_b.pgr", 96);

@@ -296,6 +296,147 @@ TEST_F(ServerTest, BatchContractViolationsGetTypedUsageErrors) {
       is_metrics_json(request_once("bfs graph=" + path + " sources=0,1")));
 }
 
+TEST_F(ServerTest, BatchSourceParseErrorsNameTheGraph) {
+  // A fleet tails one error stream for many graphs; a bare "sources=: bad
+  // integer" line is un-actionable without the graph it was aimed at. The
+  // typed [usage] error must carry the resolved graph path as file context.
+  std::string path = write_graph("named_err.pgr");
+  start_server();
+  // (A bare "sources=" dies in the request tokenizer before the graph is
+  // resolved, so only value errors carry graph context.)
+  for (const std::string bad : {"sources=abc", "sources=1,,2"}) {
+    std::string resp = request_once("bfs graph=" + path + " " + bad);
+    EXPECT_EQ(resp.rfind("error [usage]", 0), 0u) << resp;
+    EXPECT_NE(resp.find(path), std::string::npos)
+        << "error must name the graph: " << resp;
+    EXPECT_NE(resp.find("bfs"), std::string::npos) << resp;
+  }
+  // The source=/sources= conflict error names the graph too.
+  std::string conflict =
+      request_once("bfs graph=" + path + " source=0 sources=1,2");
+  EXPECT_EQ(conflict.rfind("error [usage]", 0), 0u) << conflict;
+  EXPECT_NE(conflict.find(path), std::string::npos) << conflict;
+}
+
+// --- dynamic updates: update / compact verbs ---------------------------------
+
+TEST_F(ServerTest, UpdateCompactRoundTrip) {
+  std::string path = write_graph("dyn.pgr");
+  start_server();
+
+  // A resident graph with no overlay compacts as a no-op.
+  EXPECT_EQ(request_once("open graph=" + path).rfind("ok opened ", 0), 0u);
+  std::string noop = request_once("compact graph=" + path);
+  EXPECT_EQ(noop.rfind("ok compacted ", 0), 0u) << noop;
+  EXPECT_NE(noop.find("noop=1"), std::string::npos) << noop;
+
+  // Apply a batch: two long-range inserts the 4-wide grid cannot contain,
+  // plus a delete of one of them in a second batch.
+  std::string up1 =
+      request_once("update graph=" + path + " add=0:255,1:254");
+  EXPECT_EQ(up1.rfind("ok updated ", 0), 0u) << up1;
+  EXPECT_NE(up1.find("batch_inserts=2"), std::string::npos) << up1;
+  EXPECT_NE(up1.find("batch_deletes=0"), std::string::npos) << up1;
+  EXPECT_NE(up1.find("batches=1"), std::string::npos) << up1;
+  EXPECT_NE(up1.find("pinned=1"), std::string::npos) << up1;
+
+  // Deleting an edge that lives only in the insert overlay nets it out of
+  // the patch list instead of recording a delete (the rebuilt snapshot is
+  // always the minimal diff against the base CSR).
+  std::string up2 = request_once("update graph=" + path + " del=0:255");
+  EXPECT_EQ(up2.rfind("ok updated ", 0), 0u) << up2;
+  EXPECT_NE(up2.find("batch_deletes=1"), std::string::npos) << up2;
+  EXPECT_NE(up2.find("inserts=1"), std::string::npos) << up2;
+  EXPECT_NE(up2.find("deletes=0"), std::string::npos) << up2;
+  EXPECT_NE(up2.find("batches=2"), std::string::npos) << up2;
+
+  // Queries on the overlaid graph work and report the delta section. The
+  // default bfs kernel (pasgal) is overlay-guarded by design; gbbs routes
+  // through the overlay-aware edge_map.
+  std::string guarded = request_once("bfs graph=" + path + " source=0");
+  EXPECT_EQ(guarded.rfind("error [usage]", 0), 0u) << guarded;
+  std::string bfs = request_once("bfs graph=" + path + " source=0 algo=gbbs");
+  EXPECT_TRUE(is_metrics_json(bfs)) << bfs;
+  EXPECT_NE(bfs.find("\"delta\":"), std::string::npos) << bfs;
+  EXPECT_NE(bfs.find("\"inserts\":1"), std::string::npos) << bfs;
+  std::string pr = request_once("pagerank graph=" + path);
+  EXPECT_TRUE(is_metrics_json(pr)) << pr;
+  EXPECT_NE(pr.find("\"delta\":"), std::string::npos) << pr;
+
+  // Compaction folds the overlay into a rewritten .pgr: the surviving
+  // insert nets one extra edge over the original file.
+  Graph before = read_pgr(path);
+  std::size_t base_m = before.num_edges();
+  std::string comp = request_once("compact graph=" + path);
+  EXPECT_EQ(comp.rfind("ok compacted ", 0), 0u) << comp;
+  EXPECT_NE(comp.find("inserts_folded=1"), std::string::npos) << comp;
+  EXPECT_NE(comp.find("deletes_folded=0"), std::string::npos) << comp;
+  EXPECT_NE(comp.find("m=" + std::to_string(base_m + 1)), std::string::npos)
+      << comp;
+
+  // The rewritten file reopens clean (registry rewrite detection): the
+  // default kernel works again and there is no delta section.
+  std::string fresh = request_once("bfs graph=" + path + " source=0");
+  EXPECT_TRUE(is_metrics_json(fresh)) << fresh;
+  EXPECT_EQ(fresh.find("\"delta\":"), std::string::npos) << fresh;
+}
+
+TEST_F(ServerTest, UpdateContractViolationsAreTyped) {
+  std::string path = write_graph("dyn_bad.pgr");
+  std::string wpath = write_weighted_graph("dyn_w.pgr");
+  start_server();
+
+  // Empty batch, malformed pairs, bad integers: usage errors naming the graph.
+  for (const std::string bad :
+       {"update graph=" + path, "update graph=" + path + " add=5",
+        "update graph=" + path + " add=1:2:3",
+        "update graph=" + path + " add=a:b",
+        "update graph=" + path + " del=99999999999:0"}) {
+    std::string resp = request_once(bad);
+    EXPECT_EQ(resp.rfind("error [usage]", 0), 0u) << bad << " -> " << resp;
+  }
+  // Set-semantics violations are validation errors, and nothing mutates.
+  EXPECT_EQ(request_once("update graph=" + path + " del=0:255")
+                .rfind("error [validation]", 0),
+            0u)
+      << "deleting an absent edge";
+  ASSERT_EQ(request_once("update graph=" + path + " add=0:255")
+                .rfind("ok updated ", 0),
+            0u);
+  EXPECT_EQ(request_once("update graph=" + path + " add=0:255")
+                .rfind("error [validation]", 0),
+            0u)
+      << "inserting an effectively-present edge";
+  // Weighted graphs cannot take unweighted patches.
+  EXPECT_EQ(request_once("update graph=" + wpath + " add=0:5")
+                .rfind("error [usage]", 0),
+            0u);
+  // The pool survives and the earlier overlay is intact.
+  std::string bfs = request_once("bfs graph=" + path + " source=0 algo=gbbs");
+  EXPECT_TRUE(is_metrics_json(bfs)) << bfs;
+  EXPECT_NE(bfs.find("\"inserts\":1"), std::string::npos) << bfs;
+}
+
+TEST_F(ServerTest, EvictReportsDroppedUpdates) {
+  std::string path = write_graph("dyn_evict.pgr");
+  start_server();
+  ASSERT_EQ(request_once("update graph=" + path + " add=0:255,3:252")
+                .rfind("ok updated ", 0),
+            0u);
+  // Updates pin the entry, so LRU pressure cannot silently drop them — but
+  // an explicit evict may, and must say how many ops it discarded.
+  std::string evicted = request_once("evict graph=" + path);
+  EXPECT_EQ(evicted.rfind("ok ", 0), 0u) << evicted;
+  EXPECT_NE(evicted.find("dropped_updates=2"), std::string::npos) << evicted;
+  // Compact on the now non-resident graph is a typed usage error.
+  EXPECT_EQ(request_once("compact graph=" + path).rfind("error [usage]", 0),
+            0u);
+  // Reopening reads the unmodified base file: the overlay is gone.
+  std::string bfs = request_once("bfs graph=" + path + " source=0");
+  EXPECT_TRUE(is_metrics_json(bfs)) << bfs;
+  EXPECT_EQ(bfs.find("\"delta\":"), std::string::npos) << bfs;
+}
+
 TEST_F(ServerTest, MultipleRequestsOnOneConnection) {
   std::string path = write_graph("multi.pgr");
   start_server();

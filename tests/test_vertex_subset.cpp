@@ -149,6 +149,26 @@ TEST(VertexSubset, ContainsOutOfUniverseIsFalse) {
   EXPECT_FALSE(VertexSubset::empty(0).contains(0));
 }
 
+TEST(VertexSubset, SparseRejectsOutOfUniverseIds) {
+  // Every member must be < n: an out-of-universe id would ride the sorted
+  // invariant into to_dense()'s unchecked mask write. sparse() validates on
+  // the sorted maximum, so the stray id is caught wherever it appears.
+  try {
+    VertexSubset::sparse(10, {3, 10});
+    FAIL() << "sparse() accepted vertex 10 in a universe of 10";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kValidation);
+    EXPECT_NE(std::string(e.what()).find("10"), std::string::npos);
+  }
+  EXPECT_THROW(VertexSubset::sparse(5, {kInvalidVertex}), Error);
+  EXPECT_THROW(VertexSubset::sparse(0, {0}), Error);
+  EXPECT_THROW(VertexSubset::sparse(10, {99, 1}), Error)
+      << "unsorted input must be validated after the sort";
+  EXPECT_THROW(VertexSubset::single(7, 7), Error);
+  // The boundary ids themselves are fine.
+  EXPECT_NO_THROW(VertexSubset::sparse(10, {0, 9}));
+}
+
 TEST(VertexSubset, DenseTrustedCountSkipsRecount) {
   std::vector<std::uint8_t> mask(30, 0);
   mask[1] = mask[8] = mask[29] = 1;
